@@ -1,0 +1,92 @@
+// Micro-benchmarks (google-benchmark): substrate throughput numbers that
+// back the engineering claims in DESIGN.md — truth-table operations, cut
+// enumeration rate, spectral classification latency, exact synthesis, and
+// a full rewriting round.
+#include "core/rewrite.h"
+#include "cut/cut_enumeration.h"
+#include "exact/exact_mc.h"
+#include "gen/arithmetic.h"
+#include "spectral/classification.h"
+#include "tt/operations.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace {
+
+using namespace mcx;
+
+void bm_tt_anf(benchmark::State& state)
+{
+    std::mt19937_64 rng{1};
+    truth_table t{6, rng()};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(to_anf(t));
+    }
+}
+BENCHMARK(bm_tt_anf);
+
+void bm_tt_shrink_to_support(benchmark::State& state)
+{
+    const auto f = truth_table{6, 0x8888888888888888ull}; // 2-var function
+    for (auto _ : state)
+        benchmark::DoNotOptimize(shrink_to_support(f));
+}
+BENCHMARK(bm_tt_shrink_to_support);
+
+void bm_walsh_spectrum(benchmark::State& state)
+{
+    std::mt19937_64 rng{2};
+    const truth_table t{6, rng()};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(walsh_spectrum(t));
+}
+BENCHMARK(bm_walsh_spectrum);
+
+void bm_classify_random6(benchmark::State& state)
+{
+    std::mt19937_64 rng{3};
+    for (auto _ : state) {
+        const truth_table t{6, rng()};
+        benchmark::DoNotOptimize(
+            classify_affine(t, {.iteration_limit = 100'000}));
+    }
+}
+BENCHMARK(bm_classify_random6);
+
+void bm_cut_enumeration_multiplier(benchmark::State& state)
+{
+    const auto net = gen_multiplier(16);
+    for (auto _ : state) {
+        cut_enumeration_stats stats;
+        benchmark::DoNotOptimize(enumerate_cuts(net, {}, &stats));
+        state.counters["cuts"] = static_cast<double>(stats.total_cuts);
+    }
+}
+BENCHMARK(bm_cut_enumeration_multiplier);
+
+void bm_exact_mc_maj3(benchmark::State& state)
+{
+    const truth_table maj{3, 0xe8};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exact_mc_synthesis(maj));
+}
+BENCHMARK(bm_exact_mc_maj3);
+
+void bm_rewrite_round_adder(benchmark::State& state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto net = gen_adder(static_cast<uint32_t>(state.range(0)));
+        mc_database db;
+        classification_cache cache;
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(mc_rewrite_round(net, db, cache));
+    }
+}
+BENCHMARK(bm_rewrite_round_adder)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// Maximum fanout-free cone measurement: the set of nodes that become
+// dangling when a root is replaced, bounded below by a cut's leaves.  The
+// AND count of the MFFC is the DAG-aware "what we save" side of the
+// rewriting gain (paper §4, following Mishchenko's AIG rewriting).
+#pragma once
+
+#include "xag/xag.h"
+
+#include <cstdint>
+#include <span>
+
+namespace mcx {
+
+/// Number of AND gates in the MFFC of `root` with respect to `leaves`.
+uint32_t mffc_and_count(const xag& network, uint32_t root,
+                        std::span<const uint32_t> leaves);
+
+/// Number of gates (AND + XOR) in the MFFC of `root` w.r.t. `leaves`.
+uint32_t mffc_gate_count(const xag& network, uint32_t root,
+                         std::span<const uint32_t> leaves);
+
+} // namespace mcx

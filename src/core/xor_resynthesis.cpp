@@ -1,0 +1,257 @@
+#include "core/xor_resynthesis.h"
+
+#include "core/mffc.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <set>
+#include <vector>
+
+namespace mcx {
+
+namespace {
+
+/// A linear block root expressed over terminals: value = parity of the
+/// terminal node values in `terms`, complemented if `constant`.
+struct linear_row {
+    uint32_t root = 0;
+    std::set<uint32_t> terms;
+    bool constant = false;
+};
+
+/// Expand the XOR cone under `root` down to non-XOR terminals, with
+/// cancellation (a terminal reached an even number of times vanishes).
+linear_row expand_linear(const xag& net, uint32_t root)
+{
+    linear_row row;
+    row.root = root;
+    // Iterative DFS accumulating parity per terminal.
+    std::vector<signal> stack{net.fanin0(root), net.fanin1(root)};
+    while (!stack.empty()) {
+        const auto s = stack.back();
+        stack.pop_back();
+        row.constant ^= s.complemented();
+        if (net.is_xor(s.node())) {
+            stack.push_back(net.fanin0(s.node()));
+            stack.push_back(net.fanin1(s.node()));
+            continue;
+        }
+        // Terminal: AND node, PI, or constant (node 0 contributes nothing).
+        if (s.node() == 0)
+            continue;
+        if (const auto it = row.terms.find(s.node()); it != row.terms.end())
+            row.terms.erase(it);
+        else
+            row.terms.insert(s.node());
+    }
+    return row;
+}
+
+} // namespace
+
+xor_resynthesis_stats xor_resynthesis(xag& network)
+{
+    xor_resynthesis_stats stats;
+    stats.xors_before = network.num_xors();
+
+    // Block roots: XOR nodes consumed by an AND gate or a primary output.
+    // Interior XOR nodes (all fanouts are XOR gates feeding the same
+    // blocks) are swallowed by the expansion.
+    std::vector<uint32_t> roots;
+    {
+        std::vector<uint8_t> is_root(network.size(), 0);
+        for (const auto n : network.topological_order()) {
+            if (!network.is_and(n))
+                continue;
+            for (const auto fi : {network.fanin0(n), network.fanin1(n)})
+                if (network.is_xor(fi.node()))
+                    is_root[fi.node()] = 1;
+        }
+        for (uint32_t i = 0; i < network.num_pos(); ++i)
+            if (network.is_xor(network.po_at(i).node()))
+                is_root[network.po_at(i).node()] = 1;
+        for (uint32_t n = 0; n < network.size(); ++n)
+            if (is_root[n] && !network.is_dead(n))
+                roots.push_back(n);
+    }
+    if (roots.empty()) {
+        stats.xors_after = stats.xors_before;
+        return stats;
+    }
+
+    std::vector<linear_row> rows;
+    rows.reserve(roots.size());
+    for (const auto r : roots)
+        rows.push_back(expand_linear(network, r));
+    stats.blocks = static_cast<uint32_t>(rows.size());
+
+    // Original (real-node) terminals per row: the MFFC boundary for the
+    // per-row gain decision below.
+    std::vector<std::vector<uint32_t>> original_terms(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r)
+        original_terms[r].assign(rows[r].terms.begin(), rows[r].terms.end());
+
+    // Paar's greedy algorithm on the whole system: extract the most common
+    // terminal pair as a new shared term until no pair repeats.  Pair
+    // counts are maintained incrementally (rebuilding them per extraction
+    // is quadratic and intractable on hash-sized linear systems), with a
+    // lazily-invalidated max-heap selecting the next pair.
+    struct planned_pair {
+        uint32_t a, b;   ///< term ids (node ids or planned ids)
+        uint32_t id;     ///< id of the new term
+    };
+    std::vector<planned_pair> plan;
+    uint32_t next_term_id = network.size(); // ids above nodes = planned
+
+    // Rows beyond this width are emitted as plain chains: pairing work is
+    // quadratic in the row width and the widest rows (hash-function
+    // accumulators with hundreds of terms) contribute the least sharing.
+    constexpr size_t max_pairing_width = 16;
+
+    using term_pair = std::pair<uint32_t, uint32_t>;
+    struct pair_hash {
+        size_t operator()(const term_pair& p) const
+        {
+            return (static_cast<size_t>(p.first) << 32) ^ p.second;
+        }
+    };
+    std::unordered_map<term_pair, uint32_t, pair_hash> pair_count;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> rows_of_term;
+    std::priority_queue<std::pair<uint32_t, term_pair>> heap;
+
+    const auto ordered = [](uint32_t a, uint32_t b) {
+        return a < b ? term_pair{a, b} : term_pair{b, a};
+    };
+    const auto bump = [&](uint32_t a, uint32_t b, int delta) {
+        const auto key = ordered(a, b);
+        auto& count = pair_count[key];
+        count = static_cast<uint32_t>(static_cast<int>(count) + delta);
+        if (delta > 0 && count >= 2)
+            heap.push({count, key});
+    };
+
+    for (uint32_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].terms.size() > max_pairing_width)
+            continue;
+        std::vector<uint32_t> t(rows[r].terms.begin(), rows[r].terms.end());
+        for (size_t i = 0; i < t.size(); ++i) {
+            rows_of_term[t[i]].push_back(r);
+            for (size_t j = i + 1; j < t.size(); ++j)
+                bump(t[i], t[j], 1);
+        }
+    }
+
+    while (!heap.empty()) {
+        const auto [count, key] = heap.top();
+        heap.pop();
+        const auto it = pair_count.find(key);
+        if (it == pair_count.end() || it->second != count) {
+            // Stale entry: if the pair still qualifies with its decreased
+            // count, requeue it at that count (strictly smaller each time,
+            // so this terminates).
+            if (it != pair_count.end() && it->second >= 2 &&
+                it->second < count)
+                heap.push({it->second, key});
+            continue;
+        }
+        if (count < 2)
+            break;
+        const auto [a, b] = key;
+        const auto id = next_term_id++;
+        plan.push_back({a, b, id});
+        ++stats.pairs_extracted;
+
+        for (const auto r : rows_of_term[a]) {
+            auto& terms = rows[r].terms;
+            if (!terms.count(a) || !terms.count(b))
+                continue;
+            // Update counts for every other term of this row.
+            for (const auto t : terms)
+                if (t != a && t != b) {
+                    bump(a, t, -1);
+                    bump(b, t, -1);
+                    bump(id, t, +1);
+                }
+            bump(a, b, -1);
+            terms.erase(a);
+            terms.erase(b);
+            terms.insert(id);
+            rows_of_term[id].push_back(r);
+        }
+    }
+
+    // Pin every real terminal: substitution cascades below may restructure
+    // later rows' old cones and would otherwise free terminals before
+    // their new chains are built.
+    std::set<uint32_t> protected_terms;
+    for (const auto& row : rows)
+        for (const auto term : row.terms)
+            if (term < network.size())
+                protected_terms.insert(term);
+    for (const auto& p : plan) {
+        if (p.a < network.size())
+            protected_terms.insert(p.a);
+        if (p.b < network.size())
+            protected_terms.insert(p.b);
+    }
+    for (const auto term : protected_terms)
+        network.take_ref(signal{term, false});
+
+    // Materialize: planned pair gates first, then one XOR chain per row.
+    // Terminals merged away by cascades are followed via resolve().
+    std::map<uint32_t, signal> term_signal;
+    const auto signal_of = [&](uint32_t term) {
+        if (const auto it = term_signal.find(term); it != term_signal.end())
+            return network.resolve(it->second);
+        return network.resolve(signal{term, false});
+    };
+    for (const auto& p : plan) {
+        const auto g = network.create_xor(signal_of(p.a), signal_of(p.b));
+        term_signal[p.id] = g;
+        network.take_ref(g);
+    }
+
+    for (size_t r = 0; r < rows.size(); ++r) {
+        const auto& row = rows[r];
+        if (network.is_dead(row.root))
+            continue; // collapsed by an earlier substitution in this pass
+        if (row.terms.size() > max_pairing_width)
+            continue; // wide accumulators keep their existing trees
+        const auto xors_before_row = network.num_xors();
+        auto acc = network.get_constant(row.constant);
+        for (const auto term : row.terms)
+            acc = network.create_xor(acc, signal_of(term));
+        const auto created = network.num_xors() - xors_before_row;
+        const auto resolved = network.resolve(acc);
+        if (resolved.node() == row.root)
+            continue; // already in optimal form
+        network.take_ref(resolved);
+        // Gain check mirroring the rewriting engine: what the new chain
+        // costs (after strashing) vs. the XOR gates exclusively owned by
+        // the old cone (the chain's references pin anything shared).
+        const auto freed =
+            mffc_gate_count(network, row.root, original_terms[r]) -
+            mffc_and_count(network, row.root, original_terms[r]);
+        if (created <= freed) {
+            network.substitute(row.root, resolved);
+            network.release_ref(network.resolve(resolved));
+        } else {
+            network.release_ref(resolved);
+        }
+    }
+
+    // Release the tokens on the nodes they were taken on: a reference taken
+    // on a node that was merged away afterwards must not be released on the
+    // merge survivor (that would steal one of its real references).
+    for (const auto& p : plan)
+        network.release_ref(term_signal.at(p.id));
+    for (const auto term : protected_terms)
+        network.release_ref(signal{term, false});
+
+    stats.xors_after = network.num_xors();
+    return stats;
+}
+
+} // namespace mcx

@@ -1,0 +1,32 @@
+// XOR-count resynthesis of linear blocks — the complementary optimization
+// the paper explicitly leaves to related work ("Note that we do not
+// consider any XOR optimization in this work. An algorithm to minimize the
+// number of XOR for cryptography applications can be found in [14]").
+//
+// The XAG is partitioned into maximal XOR-only cones (linear blocks over
+// GF(2)); each block is a linear system  y = M x  over its terminals
+// (AND nodes, PIs).  The blocks are re-synthesized with Paar's greedy
+// common-subexpression algorithm: repeatedly materialize the pair of
+// columns that co-occurs in the most rows.  AND count — the paper's cost
+// function — is untouched by construction.
+#pragma once
+
+#include "xag/xag.h"
+
+#include <cstdint>
+
+namespace mcx {
+
+struct xor_resynthesis_stats {
+    uint32_t xors_before = 0;
+    uint32_t xors_after = 0;
+    uint32_t blocks = 0;         ///< linear block roots rewritten
+    uint32_t pairs_extracted = 0; ///< shared pair gates materialized
+};
+
+/// Rewrite all maximal linear blocks.  Function-preserving; the AND count
+/// never increases (it can drop when collapsed linear cones let downstream
+/// AND gates constant-fold).
+xor_resynthesis_stats xor_resynthesis(xag& network);
+
+} // namespace mcx

@@ -1,0 +1,60 @@
+// k-feasible cut enumeration with per-node cut limits (paper §2.1, §4.1).
+//
+// A cut of node n is a set of leaves such that every path from n to a PI
+// crosses a leaf; the cut's function is the local Boolean function of n in
+// terms of the leaves.  The paper restricts enumeration to 6-cuts (so cut
+// functions fit a 64-bit truth table) and keeps at most 12 cuts per node,
+// "a good trade-off between runtime and quality".
+#pragma once
+
+#include "tt/truth_table.h"
+#include "xag/xag.h"
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcx {
+
+/// Maximum supported cut size: cut functions are single 64-bit words.
+inline constexpr uint32_t max_cut_size = 6;
+
+/// One cut: sorted leaves plus the cut function of the (uncomplemented) root.
+struct cut {
+    std::array<uint32_t, max_cut_size> leaves{};
+    uint8_t num_leaves = 0;
+    uint64_t function = 0;  ///< truth table over num_leaves variables
+    uint64_t signature = 0; ///< bloom filter of leaves for fast subset tests
+
+    std::span<const uint32_t> leaf_span() const
+    {
+        return {leaves.data(), num_leaves};
+    }
+
+    truth_table function_tt() const
+    {
+        return truth_table{num_leaves, function};
+    }
+
+    /// True if every leaf of `other` is also a leaf of this cut.
+    bool dominates(const cut& other) const;
+};
+
+struct cut_enumeration_params {
+    uint32_t cut_size = max_cut_size; ///< k (2..6)
+    uint32_t cut_limit = 12;          ///< non-trivial cuts kept per node
+};
+
+struct cut_enumeration_stats {
+    uint64_t total_cuts = 0;
+    uint64_t merged_pairs = 0;
+};
+
+/// Cuts for every live node, indexed by node id; gate nodes end with their
+/// trivial cut {n}.  Nodes that are dead or unreachable have empty sets.
+std::vector<std::vector<cut>> enumerate_cuts(
+    const xag& network, const cut_enumeration_params& params = {},
+    cut_enumeration_stats* stats = nullptr);
+
+} // namespace mcx

@@ -1,0 +1,77 @@
+// Database of AND-minimal XAGs per affine-class representative (paper §4.1).
+//
+// The paper ships a pre-computed database (NIST's SLP circuits for 147 998
+// of all 150 357 6-input affine classes, 12 MB compressed).  We build the
+// same mapping lazily instead (DESIGN.md substitution X1): on a miss the
+// representative is synthesized — exactly when the SAT search finishes
+// within its conflict budget, heuristically otherwise — and memoized.  The
+// database can be serialized and reloaded so that, like the paper's file,
+// it is "created once and reused for several rewriting calls".
+#pragma once
+
+#include "exact/exact_mc.h"
+#include "tt/truth_table.h"
+#include "xag/xag.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mcx {
+
+struct mc_database_params {
+    bool use_exact = true;              ///< try SAT-based exact synthesis
+    uint32_t exact_max_ands = 6;
+    uint64_t exact_conflict_budget = 30'000; ///< per AND-count step
+};
+
+class mc_database {
+public:
+    struct entry {
+        xag circuit; ///< representative circuit: k PIs, 1 PO
+        uint32_t num_ands = 0;
+        bool optimal = false; ///< certified MC-optimal by exact synthesis
+    };
+
+    explicit mc_database(mc_database_params params = {}) : params_{params} {}
+
+    /// Circuit for a class representative (at most 6 variables); synthesized
+    /// and memoized on first use.
+    const entry& lookup_or_build(const truth_table& representative);
+
+    size_t size() const { return entries_.size(); }
+    uint64_t exact_entries() const { return exact_entries_; }
+    uint64_t heuristic_entries() const { return heuristic_entries_; }
+
+    /// Text serialization (one entry per line).
+    void save(std::ostream& os) const;
+    void save_file(const std::string& path) const;
+    static mc_database load(std::istream& is, mc_database_params params = {});
+    static mc_database load_file(const std::string& path,
+                                 mc_database_params params = {});
+
+    /// The paper's XAG_DB representation (§4.1): all entries merged into
+    /// one strashed network with 6 inputs and one output per
+    /// representative.  Returns the network and the representative served
+    /// by each output, in output order.
+    struct combined_xag {
+        xag network;
+        std::vector<truth_table> representatives;
+    };
+    combined_xag export_combined() const;
+
+private:
+    mc_database_params params_;
+    std::unordered_map<truth_table, entry, truth_table_hash> entries_;
+    uint64_t exact_entries_ = 0;
+    uint64_t heuristic_entries_ = 0;
+};
+
+/// Serialize a single-output XAG as a compact token stream (used by the
+/// database file format): "<num_pis> <num_gates> (<kind> <lit> <lit>)* <lit>".
+std::string serialize_single_output(const xag& network);
+xag deserialize_single_output(const std::string& text);
+
+} // namespace mcx

@@ -1,0 +1,32 @@
+#include "db/size_database.h"
+
+#include "exact/exact_size.h"
+#include "exact/heuristic_mc.h"
+
+namespace mcx {
+
+const size_database::entry& size_database::lookup_or_build(
+    const truth_table& representative)
+{
+    if (const auto it = entries_.find(representative); it != entries_.end())
+        return it->second;
+
+    entry e;
+    const auto exact = exact_size_synthesis(
+        representative, {.max_gates = params_.exact_max_gates,
+                         .conflict_budget = params_.exact_conflict_budget});
+    if (exact.success) {
+        e.circuit = exact.circuit;
+        e.num_gates = exact.num_gates;
+        e.optimal = exact.optimal;
+    } else {
+        // Fallback: the MC heuristic still yields a correct (if larger)
+        // structure.
+        e.circuit = heuristic_mc_circuit(representative);
+        e.num_gates = e.circuit.num_gates();
+        e.optimal = false;
+    }
+    return entries_.emplace(representative, std::move(e)).first->second;
+}
+
+} // namespace mcx

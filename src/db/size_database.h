@@ -1,0 +1,40 @@
+// Database of gate-count-minimal XAGs per NPN-4 representative: the
+// pre-computed structures behind the generic size-optimization baseline
+// (DESIGN.md substitution X2).
+#pragma once
+
+#include "tt/truth_table.h"
+#include "xag/xag.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace mcx {
+
+struct size_database_params {
+    uint32_t exact_max_gates = 10;
+    uint64_t exact_conflict_budget = 30'000;
+};
+
+class size_database {
+public:
+    struct entry {
+        xag circuit; ///< representative circuit: k PIs, 1 PO
+        uint32_t num_gates = 0;
+        bool optimal = false;
+    };
+
+    explicit size_database(size_database_params params = {})
+        : params_{params} {}
+
+    /// Circuit for an NPN representative (at most 4 variables).
+    const entry& lookup_or_build(const truth_table& representative);
+
+    size_t size() const { return entries_.size(); }
+
+private:
+    size_database_params params_;
+    std::unordered_map<truth_table, entry, truth_table_hash> entries_;
+};
+
+} // namespace mcx

@@ -1,0 +1,102 @@
+#include "exact/heuristic_mc.h"
+
+#include "tt/operations.h"
+#include "xag/simulate.h"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mcx {
+
+namespace {
+
+struct plan {
+    uint32_t cost = 0;
+    bool affine = false;
+    uint32_t pivot = 0; ///< decomposition variable when !affine
+};
+
+class davio_planner {
+public:
+    const plan& analyze(const truth_table& f)
+    {
+        if (const auto it = memo_.find(f); it != memo_.end())
+            return it->second;
+
+        plan p;
+        if (is_affine_function(f)) {
+            p.affine = true;
+            p.cost = 0;
+            return memo_.emplace(f, p).first->second;
+        }
+
+        p.cost = std::numeric_limits<uint32_t>::max();
+        for (const auto v : f.support()) {
+            const auto f0 = f.cofactor(v, false);
+            const auto derivative = f0 ^ f.cofactor(v, true);
+            // f = f0 ^ (x_v & derivative): one AND plus the sub-costs —
+            // unless the derivative is constant one, where the AND folds.
+            const auto and_cost =
+                derivative.is_constant(true) ? 0u : 1u;
+            const auto cost = analyze(f0).cost +
+                              analyze(derivative).cost + and_cost;
+            if (cost < p.cost) {
+                p.cost = cost;
+                p.pivot = v;
+            }
+        }
+        return memo_.emplace(f, p).first->second;
+    }
+
+    signal build(const truth_table& f, xag& net,
+                 const std::vector<signal>& inputs)
+    {
+        const auto& p = analyze(f);
+        if (p.affine) {
+            const auto anf = to_anf(f);
+            auto acc = net.get_constant(anf.get_bit(0));
+            for (uint32_t i = 0; i < f.num_vars(); ++i)
+                if (anf.get_bit(uint64_t{1} << i))
+                    acc = net.create_xor(acc, inputs[i]);
+            return acc;
+        }
+        const auto f0 = f.cofactor(p.pivot, false);
+        const auto derivative = f0 ^ f.cofactor(p.pivot, true);
+        const auto base = build(f0, net, inputs);
+        const auto delta = build(derivative, net, inputs);
+        return net.create_xor(base,
+                              net.create_and(inputs[p.pivot], delta));
+    }
+
+private:
+    std::unordered_map<truth_table, plan, truth_table_hash> memo_;
+};
+
+} // namespace
+
+uint32_t heuristic_mc_bound(const truth_table& f)
+{
+    if (f.num_vars() > 6)
+        throw std::invalid_argument{"heuristic_mc_bound: at most 6 variables"};
+    davio_planner planner;
+    return planner.analyze(f).cost;
+}
+
+xag heuristic_mc_circuit(const truth_table& f)
+{
+    if (f.num_vars() > 6)
+        throw std::invalid_argument{
+            "heuristic_mc_circuit: at most 6 variables"};
+    davio_planner planner;
+    xag net;
+    std::vector<signal> inputs;
+    for (uint32_t i = 0; i < f.num_vars(); ++i)
+        inputs.push_back(net.create_pi());
+    net.create_po(planner.build(f, net, inputs));
+    if (simulate(net)[0] != f)
+        throw std::logic_error{"heuristic_mc_circuit: function mismatch"};
+    return net;
+}
+
+} // namespace mcx

@@ -1,0 +1,24 @@
+// Heuristic multiplicative-complexity-aware synthesis: an upper bound and a
+// fallback for exact synthesis timeouts (the paper's omitted-classes case).
+//
+// Strategy: positive-Davio-style recursion f = f0 ^ x*(f0 ^ f1) whose AND
+// gate multiplies a variable with the derivative; affine functions cost no
+// AND gates at all.  The pivot at every step is chosen by exhaustive
+// recursion with memoization (cheap for <= 6 variables).
+#pragma once
+
+#include "tt/truth_table.h"
+#include "xag/xag.h"
+
+#include <cstdint>
+
+namespace mcx {
+
+/// Upper bound on MC(f) achieved by the heuristic (no circuit built).
+uint32_t heuristic_mc_bound(const truth_table& f);
+
+/// Build an XAG for `f` (one PO, f.num_vars() PIs) with heuristic_mc_bound(f)
+/// AND gates.
+xag heuristic_mc_circuit(const truth_table& f);
+
+} // namespace mcx

@@ -1,0 +1,546 @@
+#include "gen/aes.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mcx {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Software tower-field arithmetic.
+//   GF(4)   = GF(2)[u] / (u^2 + u + 1),  elements in 2 bits
+//   GF(16)  = GF(4)[v] / (v^2 + v + u),  elements in 4 bits (lo | hi<<2)
+//   GF(256) = GF(16)[w] / (w^2 + w + L), elements in 8 bits (lo | hi<<4)
+// ---------------------------------------------------------------------
+
+uint8_t gf4_mul(uint8_t a, uint8_t b)
+{
+    const uint8_t a0 = a & 1, a1 = (a >> 1) & 1;
+    const uint8_t b0 = b & 1, b1 = (b >> 1) & 1;
+    const uint8_t p = a1 & b1;
+    const uint8_t c0 = (a0 & b0) ^ p;
+    const uint8_t c1 = (a0 & b1) ^ (a1 & b0) ^ p;
+    return c0 | (c1 << 1);
+}
+
+uint8_t gf16_mul(uint8_t a, uint8_t b)
+{
+    const uint8_t al = a & 3, ah = (a >> 2) & 3;
+    const uint8_t bl = b & 3, bh = (b >> 2) & 3;
+    const uint8_t pll = gf4_mul(al, bl);
+    const uint8_t phh = gf4_mul(ah, bh);
+    const uint8_t pm = gf4_mul(al ^ ah, bl ^ bh);
+    const uint8_t lo = pll ^ gf4_mul(phh, 2); // phi = u
+    const uint8_t hi = pm ^ pll;
+    return lo | (hi << 2);
+}
+
+uint8_t gf256_tower_mul(uint8_t a, uint8_t b, uint8_t lambda)
+{
+    const uint8_t al = a & 0xf, ah = a >> 4;
+    const uint8_t bl = b & 0xf, bh = b >> 4;
+    const uint8_t pll = gf16_mul(al, bl);
+    const uint8_t phh = gf16_mul(ah, bh);
+    const uint8_t pm = gf16_mul(al ^ ah, bl ^ bh);
+    const uint8_t lo = pll ^ gf16_mul(phh, lambda);
+    const uint8_t hi = pm ^ pll;
+    return lo | (hi << 4);
+}
+
+/// lambda making w^2 + w + lambda irreducible over GF(16): any value not of
+/// the form t^2 + t.
+uint8_t find_lambda()
+{
+    bool image[16] = {};
+    for (uint8_t t = 0; t < 16; ++t)
+        image[gf16_mul(t, t) ^ t] = true;
+    for (uint8_t l = 0; l < 16; ++l)
+        if (!image[l])
+            return l;
+    throw std::logic_error{"find_lambda: unreachable"};
+}
+
+/// AES polynomial-basis multiplication (mod x^8 + x^4 + x^3 + x + 1).
+uint8_t aes_mul(uint8_t a, uint8_t b)
+{
+    uint8_t r = 0;
+    while (b) {
+        if (b & 1)
+            r ^= a;
+        const bool high = a & 0x80;
+        a <<= 1;
+        if (high)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return r;
+}
+
+struct tower_context {
+    uint8_t lambda = 0;
+    std::array<uint8_t, 8> to_tower{};   ///< T columns: image of AES bit i
+    std::array<uint8_t, 8> from_tower{}; ///< T^-1 columns
+    std::array<uint8_t, 8> out_linear{}; ///< (AES affine) o T^-1 columns
+};
+
+/// Find the field isomorphism AES -> tower by mapping a generator.
+tower_context build_tower_context()
+{
+    tower_context ctx;
+    ctx.lambda = find_lambda();
+
+    // Powers of the AES generator 0x03.
+    std::array<uint8_t, 256> aes_pow{};
+    std::array<int, 256> aes_log{};
+    {
+        uint8_t x = 1;
+        for (int i = 0; i < 255; ++i) {
+            aes_pow[i] = x;
+            aes_log[x] = i;
+            x = aes_mul(x, 0x03);
+        }
+    }
+
+    const auto order = [&](uint8_t h) {
+        uint8_t x = h;
+        int n = 1;
+        while (x != 1) {
+            x = gf256_tower_mul(x, h, ctx.lambda);
+            ++n;
+            if (n > 255)
+                return 0;
+        }
+        return n;
+    };
+
+    std::array<uint8_t, 256> phi{};
+    bool found = false;
+    for (uint16_t h = 2; h < 256 && !found; ++h) {
+        if (order(static_cast<uint8_t>(h)) != 255)
+            continue;
+        phi[0] = 0;
+        uint8_t x = 1;
+        for (int i = 0; i < 255; ++i) {
+            phi[aes_pow[i]] = x;
+            x = gf256_tower_mul(x, static_cast<uint8_t>(h), ctx.lambda);
+        }
+        // Additivity check makes phi a field isomorphism.
+        found = true;
+        for (int a = 0; a < 256 && found; ++a)
+            for (int b = a; b < 256; ++b)
+                if (phi[a ^ b] != (phi[a] ^ phi[b])) {
+                    found = false;
+                    break;
+                }
+    }
+    if (!found)
+        throw std::logic_error{"build_tower_context: no isomorphism found"};
+
+    for (int i = 0; i < 8; ++i)
+        ctx.to_tower[i] = phi[1u << i];
+
+    // Invert the basis-change matrix by Gauss-Jordan over GF(2).
+    std::array<uint8_t, 8> m = ctx.to_tower; // column i
+    std::array<uint8_t, 8> inv{};
+    for (int i = 0; i < 8; ++i)
+        inv[i] = static_cast<uint8_t>(1u << i);
+    // Work on rows: row r of M is bit r across columns.
+    // Simpler: solve M * x = e_r for each r by brute force over 256 values.
+    const auto apply = [&](const std::array<uint8_t, 8>& cols, uint8_t x) {
+        uint8_t y = 0;
+        for (int i = 0; i < 8; ++i)
+            if ((x >> i) & 1)
+                y ^= cols[i];
+        return y;
+    };
+    for (int i = 0; i < 8; ++i) {
+        bool ok = false;
+        for (int x = 0; x < 256; ++x)
+            if (apply(m, static_cast<uint8_t>(x)) == (1u << i)) {
+                ctx.from_tower[i] = static_cast<uint8_t>(x);
+                ok = true;
+                break;
+            }
+        if (!ok)
+            throw std::logic_error{"build_tower_context: singular matrix"};
+    }
+
+    // Compose the AES affine output matrix with T^-1.
+    const auto aes_affine_matrix = [&](uint8_t x) {
+        uint8_t y = 0;
+        for (int i = 0; i < 8; ++i) {
+            const uint8_t bit = ((x >> i) ^ (x >> ((i + 4) % 8)) ^
+                                 (x >> ((i + 5) % 8)) ^ (x >> ((i + 6) % 8)) ^
+                                 (x >> ((i + 7) % 8))) &
+                                1;
+            y |= bit << i;
+        }
+        return y;
+    };
+    for (int i = 0; i < 8; ++i)
+        ctx.out_linear[i] = aes_affine_matrix(ctx.from_tower[i]);
+    (void)inv;
+    return ctx;
+}
+
+const tower_context& tower()
+{
+    static const tower_context ctx = build_tower_context();
+    return ctx;
+}
+
+// ----------------------------------------------------------- circuit side
+
+using pair2 = std::array<signal, 2>;
+using nib = std::array<signal, 4>;
+using byte8 = std::array<signal, 8>;
+
+pair2 gf4_mul_circuit(xag& net, const pair2& a, const pair2& b)
+{
+    const auto p00 = net.create_and(a[0], b[0]);
+    const auto p11 = net.create_and(a[1], b[1]);
+    const auto m = net.create_and(net.create_xor(a[0], a[1]),
+                                  net.create_xor(b[0], b[1]));
+    return {net.create_xor(p00, p11), net.create_xor(m, p00)};
+}
+
+/// Multiply by u (the GF(4) generator): linear.
+pair2 gf4_scale_u(xag& net, const pair2& a)
+{
+    return {a[1], net.create_xor(a[0], a[1])};
+}
+
+/// Squaring == inversion in GF(4): linear.
+pair2 gf4_square(xag& net, const pair2& a)
+{
+    return {net.create_xor(a[0], a[1]), a[1]};
+}
+
+nib gf16_mul_circuit(xag& net, const nib& a, const nib& b)
+{
+    const pair2 al{a[0], a[1]}, ah{a[2], a[3]};
+    const pair2 bl{b[0], b[1]}, bh{b[2], b[3]};
+    const auto pll = gf4_mul_circuit(net, al, bl);
+    const auto phh = gf4_mul_circuit(net, ah, bh);
+    const pair2 as{net.create_xor(al[0], ah[0]), net.create_xor(al[1], ah[1])};
+    const pair2 bs{net.create_xor(bl[0], bh[0]), net.create_xor(bl[1], bh[1])};
+    const auto pm = gf4_mul_circuit(net, as, bs);
+    const auto scaled = gf4_scale_u(net, phh);
+    return {net.create_xor(pll[0], scaled[0]), net.create_xor(pll[1], scaled[1]),
+            net.create_xor(pm[0], pll[0]), net.create_xor(pm[1], pll[1])};
+}
+
+/// Multiply a GF(16) signal nibble by a constant: linear, derived from the
+/// software tables.
+nib gf16_scale_const(xag& net, const nib& a, uint8_t constant)
+{
+    nib out{net.get_constant(false), net.get_constant(false),
+            net.get_constant(false), net.get_constant(false)};
+    for (int i = 0; i < 4; ++i) {
+        const uint8_t column = gf16_mul(static_cast<uint8_t>(1u << i),
+                                        constant);
+        for (int k = 0; k < 4; ++k)
+            if ((column >> k) & 1)
+                out[k] = net.create_xor(out[k], a[i]);
+    }
+    return out;
+}
+
+/// Squaring in GF(16): linear, derived from the software tables.
+nib gf16_square_circuit(xag& net, const nib& a)
+{
+    nib out{net.get_constant(false), net.get_constant(false),
+            net.get_constant(false), net.get_constant(false)};
+    for (int i = 0; i < 4; ++i) {
+        const uint8_t sq = gf16_mul(static_cast<uint8_t>(1u << i),
+                                    static_cast<uint8_t>(1u << i));
+        for (int k = 0; k < 4; ++k)
+            if ((sq >> k) & 1)
+                out[k] = net.create_xor(out[k], a[i]);
+    }
+    return out;
+}
+
+nib gf16_inverse_circuit(xag& net, const nib& a)
+{
+    const pair2 al{a[0], a[1]}, ah{a[2], a[3]};
+    // Norm = al^2 + al*ah + u*ah^2 in GF(4).
+    const auto al2 = gf4_square(net, al);
+    const auto ah2 = gf4_square(net, ah);
+    const auto uah2 = gf4_scale_u(net, ah2);
+    const auto alah = gf4_mul_circuit(net, al, ah);
+    const pair2 norm{
+        net.create_xor(net.create_xor(al2[0], uah2[0]), alah[0]),
+        net.create_xor(net.create_xor(al2[1], uah2[1]), alah[1])};
+    const auto norm_inv = gf4_square(net, norm); // x^-1 = x^2 in GF(4)
+    const pair2 als{net.create_xor(al[0], ah[0]), net.create_xor(al[1], ah[1])};
+    const auto lo = gf4_mul_circuit(net, als, norm_inv);
+    const auto hi = gf4_mul_circuit(net, ah, norm_inv);
+    return {lo[0], lo[1], hi[0], hi[1]};
+}
+
+byte8 gf256_inverse_circuit(xag& net, const byte8& x)
+{
+    const auto& ctx = tower();
+    const nib xl{x[0], x[1], x[2], x[3]};
+    const nib xh{x[4], x[5], x[6], x[7]};
+    const auto t = gf16_mul_circuit(net, xl, xh);
+    const auto xl2 = gf16_square_circuit(net, xl);
+    const auto xh2 = gf16_square_circuit(net, xh);
+    const auto lxh2 = gf16_scale_const(net, xh2, ctx.lambda);
+    nib norm;
+    for (int i = 0; i < 4; ++i)
+        norm[i] = net.create_xor(net.create_xor(xl2[i], lxh2[i]), t[i]);
+    const auto norm_inv = gf16_inverse_circuit(net, norm);
+    nib xls;
+    for (int i = 0; i < 4; ++i)
+        xls[i] = net.create_xor(xl[i], xh[i]);
+    const auto lo = gf16_mul_circuit(net, xls, norm_inv);
+    const auto hi = gf16_mul_circuit(net, xh, norm_inv);
+    return {lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]};
+}
+
+byte8 apply_linear(xag& net, const std::array<uint8_t, 8>& columns,
+                   const byte8& x)
+{
+    byte8 out;
+    for (int k = 0; k < 8; ++k)
+        out[k] = net.get_constant(false);
+    for (int i = 0; i < 8; ++i)
+        for (int k = 0; k < 8; ++k)
+            if ((columns[i] >> k) & 1)
+                out[k] = net.create_xor(out[k], x[i]);
+    return out;
+}
+
+} // namespace
+
+uint8_t aes_sbox_reference(uint8_t x)
+{
+    uint8_t inv = 0;
+    if (x != 0)
+        for (int c = 1; c < 256; ++c)
+            if (aes_mul(x, static_cast<uint8_t>(c)) == 1) {
+                inv = static_cast<uint8_t>(c);
+                break;
+            }
+    uint8_t y = 0;
+    for (int i = 0; i < 8; ++i) {
+        const uint8_t bit = ((inv >> i) ^ (inv >> ((i + 4) % 8)) ^
+                             (inv >> ((i + 5) % 8)) ^ (inv >> ((i + 6) % 8)) ^
+                             (inv >> ((i + 7) % 8))) &
+                            1;
+        y |= bit << i;
+    }
+    return y ^ 0x63;
+}
+
+std::array<signal, 8> aes_sbox_circuit(xag& net,
+                                       const std::array<signal, 8>& in)
+{
+    const auto& ctx = tower();
+    const auto t = apply_linear(net, ctx.to_tower, in);
+    const auto inv = gf256_inverse_circuit(net, t);
+    auto out = apply_linear(net, ctx.out_linear, inv);
+    for (int i = 0; i < 8; ++i)
+        if ((0x63 >> i) & 1)
+            out[i] = !out[i];
+    return out;
+}
+
+namespace {
+
+using byte_word = std::array<signal, 8>;
+using state_t = std::array<byte_word, 16>; ///< state[4*c + r]
+
+byte_word xor_bytes(xag& net, const byte_word& a, const byte_word& b)
+{
+    byte_word r;
+    for (int i = 0; i < 8; ++i)
+        r[i] = net.create_xor(a[i], b[i]);
+    return r;
+}
+
+/// xtime: multiply by 2 in GF(2^8) — linear on bits.
+byte_word xtime(xag& net, const byte_word& a)
+{
+    byte_word r;
+    r[0] = a[7];
+    r[1] = net.create_xor(a[0], a[7]);
+    r[2] = a[1];
+    r[3] = net.create_xor(a[2], a[7]);
+    r[4] = net.create_xor(a[3], a[7]);
+    r[5] = a[4];
+    r[6] = a[5];
+    r[7] = a[6];
+    return r;
+}
+
+state_t add_round_key(xag& net, const state_t& s,
+                      const std::array<byte_word, 16>& key)
+{
+    state_t r;
+    for (int i = 0; i < 16; ++i)
+        r[i] = xor_bytes(net, s[i], key[i]);
+    return r;
+}
+
+state_t sub_bytes(xag& net, const state_t& s)
+{
+    state_t r;
+    for (int i = 0; i < 16; ++i)
+        r[i] = aes_sbox_circuit(net, s[i]);
+    return r;
+}
+
+state_t shift_rows(const state_t& s)
+{
+    state_t r;
+    for (int c = 0; c < 4; ++c)
+        for (int row = 0; row < 4; ++row)
+            r[4 * c + row] = s[4 * ((c + row) % 4) + row];
+    return r;
+}
+
+state_t mix_columns(xag& net, const state_t& s)
+{
+    state_t r;
+    for (int c = 0; c < 4; ++c) {
+        const auto& a0 = s[4 * c + 0];
+        const auto& a1 = s[4 * c + 1];
+        const auto& a2 = s[4 * c + 2];
+        const auto& a3 = s[4 * c + 3];
+        const auto x0 = xtime(net, a0);
+        const auto x1 = xtime(net, a1);
+        const auto x2 = xtime(net, a2);
+        const auto x3 = xtime(net, a3);
+        // 2*a0 ^ 3*a1 ^ a2 ^ a3, rotating.
+        r[4 * c + 0] = xor_bytes(
+            net, xor_bytes(net, x0, xor_bytes(net, x1, a1)),
+            xor_bytes(net, a2, a3));
+        r[4 * c + 1] = xor_bytes(
+            net, xor_bytes(net, x1, xor_bytes(net, x2, a2)),
+            xor_bytes(net, a3, a0));
+        r[4 * c + 2] = xor_bytes(
+            net, xor_bytes(net, x2, xor_bytes(net, x3, a3)),
+            xor_bytes(net, a0, a1));
+        r[4 * c + 3] = xor_bytes(
+            net, xor_bytes(net, x3, xor_bytes(net, x0, a0)),
+            xor_bytes(net, a1, a2));
+    }
+    return r;
+}
+
+} // namespace
+
+xag gen_aes128(bool expanded_key)
+{
+    xag net;
+    state_t state;
+    for (auto& byte : state)
+        for (auto& bit : byte)
+            bit = net.create_pi();
+
+    std::array<std::array<byte_word, 16>, 11> round_keys;
+    if (expanded_key) {
+        for (auto& rk : round_keys)
+            for (auto& byte : rk)
+                for (auto& bit : byte)
+                    bit = net.create_pi();
+    } else {
+        // Key schedule inside the circuit: 4 S-boxes + XORs per round.
+        std::array<byte_word, 16> key;
+        for (auto& byte : key)
+            for (auto& bit : byte)
+                bit = net.create_pi();
+        round_keys[0] = key;
+        uint8_t rcon = 1;
+        for (int r = 1; r <= 10; ++r) {
+            auto prev = round_keys[r - 1];
+            // w3 = last column, rotated and substituted.
+            std::array<byte_word, 4> temp;
+            for (int row = 0; row < 4; ++row)
+                temp[row] =
+                    aes_sbox_circuit(net, prev[4 * 3 + (row + 1) % 4]);
+            for (int i = 0; i < 8; ++i)
+                if ((rcon >> i) & 1)
+                    temp[0][i] = !temp[0][i];
+            std::array<byte_word, 16> next;
+            for (int row = 0; row < 4; ++row)
+                next[row] = xor_bytes(net, prev[row], temp[row]);
+            for (int c = 1; c < 4; ++c)
+                for (int row = 0; row < 4; ++row)
+                    next[4 * c + row] = xor_bytes(net, next[4 * (c - 1) + row],
+                                                  prev[4 * c + row]);
+            round_keys[r] = next;
+            rcon = static_cast<uint8_t>((rcon << 1) ^ ((rcon & 0x80) ? 0x1b : 0));
+        }
+    }
+
+    state = add_round_key(net, state, round_keys[0]);
+    for (int round = 1; round <= 10; ++round) {
+        state = sub_bytes(net, state);
+        state = shift_rows(state);
+        if (round != 10)
+            state = mix_columns(net, state);
+        state = add_round_key(net, state, round_keys[round]);
+    }
+    for (const auto& byte : state)
+        for (const auto bit : byte)
+            net.create_po(bit);
+    return net;
+}
+
+std::array<uint8_t, 16> aes128_encrypt_reference(
+    const std::array<uint8_t, 16>& plaintext,
+    const std::array<uint8_t, 16>& key)
+{
+    std::array<std::array<uint8_t, 16>, 11> rk;
+    rk[0] = key;
+    uint8_t rcon = 1;
+    for (int r = 1; r <= 10; ++r) {
+        auto& prev = rk[r - 1];
+        auto& next = rk[r];
+        uint8_t temp[4];
+        for (int row = 0; row < 4; ++row)
+            temp[row] = aes_sbox_reference(prev[4 * 3 + (row + 1) % 4]);
+        temp[0] ^= rcon;
+        for (int row = 0; row < 4; ++row)
+            next[row] = prev[row] ^ temp[row];
+        for (int c = 1; c < 4; ++c)
+            for (int row = 0; row < 4; ++row)
+                next[4 * c + row] = next[4 * (c - 1) + row] ^ prev[4 * c + row];
+        rcon = static_cast<uint8_t>((rcon << 1) ^ ((rcon & 0x80) ? 0x1b : 0));
+    }
+
+    auto state = plaintext;
+    const auto add_key = [&](int r) {
+        for (int i = 0; i < 16; ++i)
+            state[i] ^= rk[r][i];
+    };
+    add_key(0);
+    for (int round = 1; round <= 10; ++round) {
+        for (auto& b : state)
+            b = aes_sbox_reference(b);
+        std::array<uint8_t, 16> shifted;
+        for (int c = 0; c < 4; ++c)
+            for (int row = 0; row < 4; ++row)
+                shifted[4 * c + row] = state[4 * ((c + row) % 4) + row];
+        state = shifted;
+        if (round != 10) {
+            for (int c = 0; c < 4; ++c) {
+                const uint8_t a0 = state[4 * c], a1 = state[4 * c + 1];
+                const uint8_t a2 = state[4 * c + 2], a3 = state[4 * c + 3];
+                state[4 * c + 0] = aes_mul(a0, 2) ^ aes_mul(a1, 3) ^ a2 ^ a3;
+                state[4 * c + 1] = a0 ^ aes_mul(a1, 2) ^ aes_mul(a2, 3) ^ a3;
+                state[4 * c + 2] = a0 ^ a1 ^ aes_mul(a2, 2) ^ aes_mul(a3, 3);
+                state[4 * c + 3] = aes_mul(a0, 3) ^ a1 ^ a2 ^ aes_mul(a3, 2);
+            }
+        }
+        add_key(round);
+    }
+    return state;
+}
+
+} // namespace mcx

@@ -1,0 +1,344 @@
+#include "gen/arithmetic.h"
+
+#include "gen/word_ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcx {
+
+xag gen_adder(uint32_t bits)
+{
+    xag net;
+    const auto a = input_word(net, bits);
+    const auto b = input_word(net, bits);
+    const auto [sum, carry] = add_words(net, a, b, net.get_constant(false));
+    for (const auto s : sum)
+        net.create_po(s);
+    net.create_po(carry);
+    return net;
+}
+
+xag gen_barrel_shifter(uint32_t bits)
+{
+    if (bits == 0 || (bits & (bits - 1)) != 0)
+        throw std::invalid_argument{"gen_barrel_shifter: power-of-two width"};
+    xag net;
+    auto data = input_word(net, bits);
+    uint32_t log = 0;
+    while ((1u << log) < bits)
+        ++log;
+    const auto amount = input_word(net, log);
+    for (uint32_t stage = 0; stage < log; ++stage) {
+        const auto rotated = rotate_left(data, 1u << stage);
+        data = mux_word(net, amount[stage], rotated, data);
+    }
+    for (const auto s : data)
+        net.create_po(s);
+    return net;
+}
+
+xag gen_divisor(uint32_t bits)
+{
+    xag net;
+    const auto dividend = input_word(net, bits);
+    const auto divisor = input_word(net, bits);
+
+    // Restoring division, one subtract-and-select row per quotient bit.
+    word remainder(bits + 1, net.get_constant(false));
+    word divisor_wide(divisor.begin(), divisor.end());
+    divisor_wide.push_back(net.get_constant(false));
+
+    word quotient(bits, net.get_constant(false));
+    for (uint32_t i = bits; i-- > 0;) {
+        // remainder = (remainder << 1) | dividend[i]
+        word shifted(bits + 1, net.get_constant(false));
+        shifted[0] = dividend[i];
+        for (uint32_t k = 0; k + 1 < bits + 1; ++k)
+            shifted[k + 1] = remainder[k];
+        const auto [difference, borrow] =
+            sub_words(net, shifted, divisor_wide);
+        quotient[i] = !borrow;
+        remainder = mux_word(net, borrow, shifted, difference);
+    }
+    for (const auto s : quotient)
+        net.create_po(s);
+    for (uint32_t i = 0; i < bits; ++i)
+        net.create_po(remainder[i]);
+    return net;
+}
+
+xag gen_log2(uint32_t bits)
+{
+    xag net;
+    const auto x = input_word(net, bits);
+    uint32_t log = 0;
+    while ((1u << log) < bits)
+        ++log;
+
+    // Leading-one position (priority from the MSB) and the input normalized
+    // so that the leading one sits at the MSB.
+    auto none_above = net.get_constant(true);
+    word ilog(log, net.get_constant(false));
+    word normalized(bits, net.get_constant(false));
+    for (uint32_t p = bits; p-- > 0;) {
+        const auto lead_here = net.create_and(none_above, x[p]);
+        none_above = net.create_and(none_above, !x[p]);
+        for (uint32_t k = 0; k < log; ++k)
+            if ((p >> k) & 1)
+                ilog[k] = net.create_or(ilog[k], lead_here);
+        const auto shifted = shift_left(net, x, bits - 1 - p);
+        for (uint32_t k = 0; k < bits; ++k)
+            normalized[k] = net.create_or(
+                normalized[k], net.create_and(lead_here, shifted[k]));
+    }
+    // Mitchell: log2(x) ~ ilog + mantissa fraction (bits below the leading
+    // one of the normalized value).
+    for (uint32_t k = 0; k < log; ++k)
+        net.create_po(ilog[k]);
+    for (uint32_t k = 0; k + log < bits; ++k)
+        net.create_po(normalized[bits - 2 - k]);
+    return net;
+}
+
+xag gen_max(uint32_t bits, uint32_t words)
+{
+    if (words < 2)
+        throw std::invalid_argument{"gen_max: at least two words"};
+    xag net;
+    std::vector<word> inputs;
+    for (uint32_t w = 0; w < words; ++w)
+        inputs.push_back(input_word(net, bits));
+    auto best = inputs[0];
+    for (uint32_t w = 1; w < words; ++w) {
+        const auto smaller = less_than_unsigned(net, best, inputs[w]);
+        best = mux_word(net, smaller, inputs[w], best);
+    }
+    for (const auto s : best)
+        net.create_po(s);
+    return net;
+}
+
+xag gen_multiplier(uint32_t bits)
+{
+    xag net;
+    const auto a = input_word(net, bits);
+    const auto b = input_word(net, bits);
+    for (const auto s : multiply_words(net, a, b))
+        net.create_po(s);
+    return net;
+}
+
+xag gen_square(uint32_t bits)
+{
+    xag net;
+    const auto a = input_word(net, bits);
+    for (const auto s : multiply_words(net, a, a))
+        net.create_po(s);
+    return net;
+}
+
+namespace {
+
+/// a + b or a - b selected by `subtract` (b ^ subtract, carry-in subtract).
+word add_sub(xag& net, std::span<const signal> a, std::span<const signal> b,
+             signal subtract)
+{
+    word bx;
+    bx.reserve(b.size());
+    for (const auto s : b)
+        bx.push_back(net.create_xor(s, subtract));
+    return add_words(net, a, bx, subtract).sum;
+}
+
+/// Arithmetic right shift by a constant.
+word shift_right_arith(std::span<const signal> a, uint32_t amount)
+{
+    word w(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        w[i] = a[std::min(i + amount, a.size() - 1)];
+    return w;
+}
+
+} // namespace
+
+xag gen_sine(uint32_t bits, uint32_t iterations)
+{
+    if (bits < 4)
+        throw std::invalid_argument{"gen_sine: at least 4 bits"};
+    if (iterations == 0)
+        iterations = bits - 2;
+
+    xag net;
+    const auto angle = input_word(net, bits); // fraction of pi/2 in [0,1)
+
+    // Fixed point: 2 integer bits, bits-2 fraction bits, signed.
+    const uint32_t w = bits + 2;
+    const auto frac = bits - 2;
+    const long double scale = static_cast<long double>(1ull << frac);
+
+    // CORDIC gain compensation: x0 = 1/K.
+    long double k = 1.0L;
+    for (uint32_t i = 0; i < iterations; ++i)
+        k *= std::sqrt(1.0L + std::pow(2.0L, -2.0L * static_cast<int>(i)));
+    const auto x0_value =
+        static_cast<uint64_t>(std::llround((1.0L / k) * scale));
+
+    word x = constant_word(net, x0_value, w);
+    word y = constant_word(net, 0, w);
+    // z = angle * (pi/2) in the same fixed point: angle has `bits` fraction
+    // bits of a [0,1) value; z = angle scaled by pi/2.
+    word z(w, net.get_constant(false));
+    {
+        // Multiply the angle input by the constant pi/2 (shift-add on
+        // constant one-bits), keeping `frac` fraction bits.
+        const auto pi_half =
+            static_cast<uint64_t>(std::llround(1.57079632679489662L * scale));
+        word acc(w + bits, net.get_constant(false));
+        word wide_angle(w + bits, net.get_constant(false));
+        for (uint32_t i = 0; i < bits; ++i)
+            wide_angle[i] = angle[i];
+        for (uint32_t b = 0; b < w; ++b) {
+            if (!((pi_half >> b) & 1))
+                continue;
+            acc = add_mod(net, acc, shift_left(net, wide_angle, b));
+        }
+        // angle had `bits` fraction bits; drop them to keep `frac`.
+        for (uint32_t i = 0; i < w; ++i)
+            z[i] = acc[std::min<size_t>(i + bits, acc.size() - 1)];
+    }
+
+    for (uint32_t i = 0; i < iterations; ++i) {
+        const auto d_negative = z.back(); // rotate clockwise when z < 0
+        const auto xs = shift_right_arith(x, i);
+        const auto ys = shift_right_arith(y, i);
+        const auto atan_value = static_cast<uint64_t>(
+            std::llround(std::atan(std::pow(2.0L, -static_cast<int>(i))) *
+                         scale));
+        const auto atan_word = constant_word(net, atan_value, w);
+        // z >= 0: x -= y>>i, y += x>>i, z -= atan
+        // z <  0: x += y>>i, y -= x>>i, z += atan
+        const auto new_x = add_sub(net, x, ys, !d_negative);
+        const auto new_y = add_sub(net, y, xs, d_negative);
+        const auto new_z = add_sub(net, z, atan_word, !d_negative);
+        x = new_x;
+        y = new_y;
+        z = new_z;
+    }
+    for (uint32_t i = 0; i < bits; ++i)
+        net.create_po(y[i]); // 1.(bits-1) fixed point result
+    return net;
+}
+
+xag gen_sqrt(uint32_t bits)
+{
+    if (bits % 2 != 0)
+        throw std::invalid_argument{"gen_sqrt: even width required"};
+    xag net;
+    const auto x = input_word(net, bits);
+    const uint32_t half = bits / 2;
+    const uint32_t w = bits + 2;
+
+    word remainder(w, net.get_constant(false));
+    word root(w, net.get_constant(false));
+    for (uint32_t i = half; i-- > 0;) {
+        // remainder = (remainder << 2) | x[2i+1..2i]
+        word shifted(w, net.get_constant(false));
+        shifted[0] = x[2 * i];
+        shifted[1] = x[2 * i + 1];
+        for (uint32_t k = 0; k + 2 < w; ++k)
+            shifted[k + 2] = remainder[k];
+        // trial = (root << 2) | 1
+        word trial(w, net.get_constant(false));
+        trial[0] = net.get_constant(true);
+        for (uint32_t k = 0; k + 2 < w; ++k)
+            trial[k + 2] = root[k];
+        const auto [difference, borrow] = sub_words(net, shifted, trial);
+        remainder = mux_word(net, borrow, shifted, difference);
+        // root = (root << 1) | !borrow
+        word new_root(w, net.get_constant(false));
+        new_root[0] = !borrow;
+        for (uint32_t k = 0; k + 1 < w; ++k)
+            new_root[k + 1] = root[k];
+        root = new_root;
+    }
+    for (uint32_t i = 0; i < half; ++i)
+        net.create_po(root[i]);
+    return net;
+}
+
+namespace {
+
+xag comparator(uint32_t bits, bool is_signed, bool or_equal)
+{
+    xag net;
+    const auto a = input_word(net, bits);
+    const auto b = input_word(net, bits);
+    signal out;
+    if (is_signed)
+        out = or_equal ? less_equal_signed(net, a, b)
+                       : less_than_signed(net, a, b);
+    else
+        out = or_equal ? less_equal_unsigned(net, a, b)
+                       : less_than_unsigned(net, a, b);
+    net.create_po(out);
+    return net;
+}
+
+} // namespace
+
+xag gen_comparator_lt_unsigned(uint32_t bits)
+{
+    return comparator(bits, false, false);
+}
+xag gen_comparator_leq_unsigned(uint32_t bits)
+{
+    return comparator(bits, false, true);
+}
+xag gen_comparator_lt_signed(uint32_t bits)
+{
+    return comparator(bits, true, false);
+}
+xag gen_comparator_leq_signed(uint32_t bits)
+{
+    return comparator(bits, true, true);
+}
+
+xag gen_int2float(uint32_t in_bits, uint32_t exp_bits, uint32_t man_bits)
+{
+    if ((1u << exp_bits) <= in_bits)
+        throw std::invalid_argument{"gen_int2float: exponent too narrow"};
+    xag net;
+    const auto x = input_word(net, in_bits);
+
+    // Leading-one detection with priority from the MSB.
+    auto none_above = net.get_constant(true);
+    word exponent(exp_bits, net.get_constant(false));
+    word mantissa(man_bits, net.get_constant(false));
+    auto nonzero = net.get_constant(false);
+    for (uint32_t p = in_bits; p-- > 0;) {
+        const auto lead_here = net.create_and(none_above, x[p]);
+        none_above = net.create_and(none_above, !x[p]);
+        nonzero = net.create_or(nonzero, x[p]);
+        // exponent = p (biased by 1 so that zero maps to exponent 0).
+        for (uint32_t k = 0; k < exp_bits; ++k)
+            if (((p + 1) >> k) & 1)
+                exponent[k] = net.create_or(exponent[k], lead_here);
+        // mantissa = bits right below the leading one (truncated).
+        for (uint32_t k = 0; k < man_bits; ++k) {
+            const int src = static_cast<int>(p) - 1 - static_cast<int>(k);
+            if (src >= 0)
+                mantissa[man_bits - 1 - k] = net.create_or(
+                    mantissa[man_bits - 1 - k],
+                    net.create_and(lead_here, x[src]));
+        }
+    }
+    net.create_po(nonzero);
+    for (const auto s : exponent)
+        net.create_po(s);
+    for (const auto s : mantissa)
+        net.create_po(s);
+    return net;
+}
+
+} // namespace mcx

@@ -1,0 +1,242 @@
+#include "gen/control.h"
+
+#include "gen/word_ops.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace mcx {
+
+namespace {
+
+/// All minterms of the given inputs (recursive halving so products share).
+std::vector<signal> decode_all(xag& net, std::span<const signal> inputs)
+{
+    if (inputs.size() == 1)
+        return {!inputs[0], inputs[0]};
+    const auto half = inputs.size() / 2;
+    const auto low = decode_all(net, inputs.subspan(0, half));
+    const auto high = decode_all(net, inputs.subspan(half));
+    std::vector<signal> products;
+    products.reserve(low.size() * high.size());
+    for (const auto h : high)
+        for (const auto l : low)
+            products.push_back(net.create_and(h, l));
+    return products;
+}
+
+} // namespace
+
+xag gen_decoder(uint32_t address_bits)
+{
+    xag net;
+    const auto address = input_word(net, address_bits);
+    for (const auto line : decode_all(net, address))
+        net.create_po(line);
+    return net;
+}
+
+xag gen_priority_encoder(uint32_t requests)
+{
+    xag net;
+    const auto req = input_word(net, requests);
+    uint32_t log = 0;
+    while ((1u << log) < requests)
+        ++log;
+
+    auto none_above = net.get_constant(true);
+    word index(log, net.get_constant(false));
+    auto valid = net.get_constant(false);
+    for (uint32_t p = requests; p-- > 0;) {
+        const auto wins = net.create_and(none_above, req[p]);
+        none_above = net.create_and(none_above, !req[p]);
+        valid = net.create_or(valid, req[p]);
+        for (uint32_t k = 0; k < log; ++k)
+            if ((p >> k) & 1)
+                index[k] = net.create_or(index[k], wins);
+    }
+    for (const auto s : index)
+        net.create_po(s);
+    net.create_po(valid);
+    return net;
+}
+
+xag gen_round_robin_arbiter(uint32_t requests)
+{
+    xag net;
+    const auto req = input_word(net, requests);
+    const auto pointer = input_word(net, requests); // one-hot priority seat
+
+    // A token starts at the pointer position and travels (cyclically) until
+    // it meets a request; unrolling two laps resolves the wrap-around, and
+    // the token dies when it returns to the pointer seat.
+    std::vector<signal> grant(requests, net.get_constant(false));
+    auto token = net.get_constant(false);
+    for (uint32_t lap = 0; lap < 2; ++lap)
+        for (uint32_t i = 0; i < requests; ++i) {
+            if (lap == 0)
+                token = net.create_or(token, pointer[i]);
+            else
+                token = net.create_and(token, !pointer[i]);
+            grant[i] = net.create_or(grant[i], net.create_and(token, req[i]));
+            token = net.create_and(token, !req[i]);
+        }
+
+    auto any = net.get_constant(false);
+    for (const auto g : grant) {
+        net.create_po(g);
+        any = net.create_or(any, g);
+    }
+    net.create_po(any);
+    return net;
+}
+
+xag gen_voter(uint32_t inputs)
+{
+    xag net;
+    std::vector<signal> bag;
+    for (uint32_t i = 0; i < inputs; ++i)
+        bag.push_back(net.create_pi());
+
+    // Carry-save reduction: repeatedly compress triples of equal weight via
+    // full adders until every weight has at most one bit -> popcount.
+    std::vector<std::vector<signal>> weights{bag};
+    for (size_t w = 0; w < weights.size(); ++w) {
+        while (weights[w].size() > 1) {
+            if (weights.size() == w + 1)
+                weights.emplace_back();
+            auto& level = weights[w];
+            if (level.size() >= 3) {
+                const auto a = level[level.size() - 1];
+                const auto b = level[level.size() - 2];
+                const auto c = level[level.size() - 3];
+                level.resize(level.size() - 3);
+                const auto axb = net.create_xor(a, b);
+                const auto sum = net.create_xor(axb, c);
+                const auto carry = net.create_or(net.create_and(a, b),
+                                                 net.create_and(axb, c));
+                weights[w].push_back(sum);
+                weights[w + 1].push_back(carry);
+            } else {
+                const auto a = level[level.size() - 1];
+                const auto b = level[level.size() - 2];
+                level.resize(level.size() - 2);
+                const auto sum = net.create_xor(a, b);
+                const auto carry = net.create_and(a, b);
+                weights[w].push_back(sum);
+                weights[w + 1].push_back(carry);
+            }
+        }
+    }
+    word count;
+    for (auto& level : weights)
+        count.push_back(level.empty() ? net.get_constant(false) : level[0]);
+
+    // Majority: popcount > inputs / 2.
+    const auto threshold =
+        constant_word(net, inputs / 2, static_cast<uint32_t>(count.size()));
+    net.create_po(less_than_unsigned(net, threshold, count));
+    return net;
+}
+
+xag gen_alu_control(uint32_t funct_bits, uint32_t controls)
+{
+    xag net;
+    const auto op = input_word(net, 2);
+    const auto funct = input_word(net, funct_bits);
+
+    const auto op_lines = decode_all(net, op);          // 4 op classes
+    const auto funct_lines = decode_all(net, funct);    // 2^funct_bits
+
+    // R-type (op class 2) selects by funct; other classes force fixed
+    // control patterns — a MIPS-style main/ALU decoder, widened to
+    // `controls` output lines.
+    for (uint32_t c = 0; c < controls; ++c) {
+        auto line = net.get_constant(false);
+        // Fixed patterns for op classes 0, 1, 3.
+        if (c % 3 == 0)
+            line = net.create_or(line, op_lines[0]);
+        if (c % 4 == 1)
+            line = net.create_or(line, op_lines[1]);
+        if (c % 5 == 2)
+            line = net.create_or(line, op_lines[3]);
+        // R-type: spread funct minterms across control lines.
+        auto rsel = net.get_constant(false);
+        for (uint32_t f = c; f < funct_lines.size(); f += controls / 2 + 1)
+            rsel = net.create_or(rsel, funct_lines[f]);
+        line = net.create_or(line, net.create_and(op_lines[2], rsel));
+        net.create_po(line);
+    }
+    return net;
+}
+
+xag gen_xy_router(uint32_t coord_bits)
+{
+    xag net;
+    const auto cur_x = input_word(net, coord_bits);
+    const auto cur_y = input_word(net, coord_bits);
+    const auto dst_x = input_word(net, coord_bits);
+    const auto dst_y = input_word(net, coord_bits);
+
+    const auto x_less = less_than_unsigned(net, cur_x, dst_x);   // go east
+    const auto x_greater = less_than_unsigned(net, dst_x, cur_x); // go west
+    const auto x_done = net.create_nor(x_less, x_greater);
+    const auto y_less = less_than_unsigned(net, cur_y, dst_y);   // go north
+    const auto y_greater = less_than_unsigned(net, dst_y, cur_y); // go south
+    const auto y_done = net.create_nor(y_less, y_greater);
+
+    // XY routing: x first, then y; plus per-axis difference bits as the
+    // look-ahead part.
+    net.create_po(x_less);
+    net.create_po(x_greater);
+    net.create_po(net.create_and(x_done, y_less));
+    net.create_po(net.create_and(x_done, y_greater));
+    net.create_po(net.create_and(x_done, y_done)); // arrived
+    const auto dx = sub_words(net, dst_x, cur_x).difference;
+    const auto dy = sub_words(net, dst_y, cur_y).difference;
+    for (uint32_t i = 0; i < coord_bits && net.num_pos() < 5 + 2 * coord_bits;
+         ++i) {
+        net.create_po(dx[i]);
+        net.create_po(dy[i]);
+    }
+    return net;
+}
+
+xag gen_random_control(uint32_t pis, uint32_t gates, uint32_t pos,
+                       uint64_t seed)
+{
+    std::mt19937_64 rng{seed};
+    xag net;
+    std::vector<signal> pool;
+    for (uint32_t i = 0; i < pis; ++i)
+        pool.push_back(net.create_pi());
+
+    const auto pick = [&] {
+        return pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+    };
+    while (net.num_gates() < gates) {
+        switch (rng() % 5) {
+        case 0: // 2-level AND-OR
+            pool.push_back(net.create_or(net.create_and(pick(), pick()),
+                                         net.create_and(pick(), pick())));
+            break;
+        case 1: // mux
+            pool.push_back(net.create_ite(pick(), pick(), pick()));
+            break;
+        case 2:
+            pool.push_back(net.create_and(pick(), pick()));
+            break;
+        case 3: // enable chain, control-style
+            pool.push_back(net.create_and(pick(), net.create_or(pick(),
+                                                                pick())));
+            break;
+        default:
+            pool.push_back(net.create_xor(pick(), pick()));
+        }
+    }
+    for (uint32_t i = 0; i < pos; ++i)
+        net.create_po(pool[pool.size() - 1 - (i % (pool.size() - pis))]);
+    return net;
+}
+
+} // namespace mcx

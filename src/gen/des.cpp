@@ -1,0 +1,294 @@
+#include "gen/des.h"
+
+#include "gen/word_ops.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace mcx {
+
+namespace {
+
+// FIPS 46-3 tables (1-based bit indices, bit 1 = MSB as in the standard).
+
+constexpr std::array<uint8_t, 64> ip_table{
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+
+constexpr std::array<uint8_t, 64> fp_table{
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+
+constexpr std::array<uint8_t, 48> e_table{
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
+    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
+    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+constexpr std::array<uint8_t, 32> p_table{
+    16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
+    2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
+
+constexpr std::array<uint8_t, 56> pc1_table{
+    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
+
+constexpr std::array<uint8_t, 48> pc2_table{
+    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10, 23, 19, 12, 4,
+    26, 8,  16, 7,  27, 20, 13, 2,  41, 52, 31, 37, 47, 55, 30, 40,
+    51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+
+constexpr std::array<uint8_t, 16> shift_schedule{1, 1, 2, 2, 2, 2, 2, 2,
+                                                 1, 2, 2, 2, 2, 2, 2, 1};
+
+constexpr uint8_t sbox_table[8][64] = {
+    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
+     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
+     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
+     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
+    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
+     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
+     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
+     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
+    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
+     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
+     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
+     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
+    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
+     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
+     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
+     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
+    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
+     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
+     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
+     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
+    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
+     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
+     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
+     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
+    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
+     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
+     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
+     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
+    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
+     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
+     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
+     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
+
+/// S-box lookup with the standard row/column convention: bits b1..b6
+/// (MSB-first); row = b1 b6, column = b2 b3 b4 b5.
+uint8_t sbox_lookup(int box, uint8_t six_bits)
+{
+    const int row = ((six_bits >> 4) & 2) | (six_bits & 1);
+    const int col = (six_bits >> 1) & 0xf;
+    return sbox_table[box][16 * row + col];
+}
+
+/// Wire permutation; vectors are MSB-first to match the tables.
+template <size_t N, size_t M>
+std::array<signal, N> permute(const std::array<uint8_t, N>& table,
+                              const std::array<signal, M>& in)
+{
+    std::array<signal, N> out;
+    for (size_t i = 0; i < N; ++i)
+        out[i] = in[table[i] - 1];
+    return out;
+}
+
+/// One S-box as a circuit: a shared 6-input minterm decoder feeding XOR
+/// accumulators (minterms are disjoint, so XOR == OR and the ors are free).
+std::array<signal, 4> sbox_circuit(xag& net, int box,
+                                   const std::array<signal, 6>& in)
+{
+    // in is MSB-first (b1..b6).
+    std::array<signal, 4> out{net.get_constant(false),
+                              net.get_constant(false),
+                              net.get_constant(false),
+                              net.get_constant(false)};
+    // Half decoders over b1..b3 and b4..b6.
+    std::array<signal, 8> hi, lo;
+    for (int v = 0; v < 8; ++v) {
+        hi[v] = net.create_and(
+            net.create_and(in[0] ^ !((v >> 2) & 1), in[1] ^ !((v >> 1) & 1)),
+            in[2] ^ !(v & 1));
+        lo[v] = net.create_and(
+            net.create_and(in[3] ^ !((v >> 2) & 1), in[4] ^ !((v >> 1) & 1)),
+            in[5] ^ !(v & 1));
+    }
+    for (int v = 0; v < 64; ++v) {
+        const auto value = sbox_lookup(box, static_cast<uint8_t>(v));
+        if (value == 0)
+            continue;
+        const auto minterm = net.create_and(hi[v >> 3], lo[v & 7]);
+        for (int k = 0; k < 4; ++k)
+            if ((value >> (3 - k)) & 1) // out is MSB-first
+                out[k] = net.create_xor(out[k], minterm);
+    }
+    return out;
+}
+
+/// Feistel round function f(R, K).
+std::array<signal, 32> feistel(xag& net, const std::array<signal, 32>& right,
+                               const std::array<signal, 48>& round_key)
+{
+    const auto expanded = permute(e_table, right);
+    std::array<signal, 48> mixed;
+    for (int i = 0; i < 48; ++i)
+        mixed[i] = net.create_xor(expanded[i], round_key[i]);
+    std::array<signal, 32> substituted;
+    for (int box = 0; box < 8; ++box) {
+        std::array<signal, 6> chunk;
+        for (int i = 0; i < 6; ++i)
+            chunk[i] = mixed[6 * box + i];
+        const auto nibble = sbox_circuit(net, box, chunk);
+        for (int i = 0; i < 4; ++i)
+            substituted[4 * box + i] = nibble[i];
+    }
+    return permute(p_table, substituted);
+}
+
+std::array<std::array<signal, 48>, 16> key_schedule(
+    xag& net, const std::array<signal, 64>& key, uint32_t rounds)
+{
+    (void)net;
+    const auto cd0 = permute(pc1_table, key);
+    std::array<signal, 28> c, d;
+    for (int i = 0; i < 28; ++i) {
+        c[i] = cd0[i];
+        d[i] = cd0[28 + i];
+    }
+    std::array<std::array<signal, 48>, 16> keys;
+    for (uint32_t r = 0; r < rounds; ++r) {
+        const auto s = shift_schedule[r];
+        std::array<signal, 28> nc, nd;
+        for (int i = 0; i < 28; ++i) {
+            nc[i] = c[(i + s) % 28];
+            nd[i] = d[(i + s) % 28];
+        }
+        c = nc;
+        d = nd;
+        std::array<signal, 56> cd;
+        for (int i = 0; i < 28; ++i) {
+            cd[i] = c[i];
+            cd[28 + i] = d[i];
+        }
+        keys[r] = permute(pc2_table, cd);
+    }
+    return keys;
+}
+
+xag build_des(bool expanded, uint32_t rounds)
+{
+    if (rounds == 0 || rounds > 16)
+        throw std::invalid_argument{"gen_des: 1..16 rounds"};
+    xag net;
+    std::array<signal, 64> plaintext;
+    for (auto& s : plaintext)
+        s = net.create_pi();
+
+    std::array<std::array<signal, 48>, 16> round_keys;
+    if (expanded) {
+        for (uint32_t r = 0; r < rounds; ++r)
+            for (auto& s : round_keys[r])
+                s = net.create_pi();
+    } else {
+        std::array<signal, 64> key;
+        for (auto& s : key)
+            s = net.create_pi();
+        round_keys = key_schedule(net, key, rounds);
+    }
+
+    const auto permuted = permute(ip_table, plaintext);
+    std::array<signal, 32> left, right;
+    for (int i = 0; i < 32; ++i) {
+        left[i] = permuted[i];
+        right[i] = permuted[32 + i];
+    }
+    for (uint32_t r = 0; r < rounds; ++r) {
+        const auto f = feistel(net, right, round_keys[r]);
+        std::array<signal, 32> new_right;
+        for (int i = 0; i < 32; ++i)
+            new_right[i] = net.create_xor(left[i], f[i]);
+        left = right;
+        right = new_right;
+    }
+    // Pre-output: R16 L16 (the halves are swapped before FP).
+    std::array<signal, 64> preoutput;
+    for (int i = 0; i < 32; ++i) {
+        preoutput[i] = right[i];
+        preoutput[32 + i] = left[i];
+    }
+    for (const auto s : permute(fp_table, preoutput))
+        net.create_po(s);
+    return net;
+}
+
+} // namespace
+
+xag gen_des(uint32_t rounds) { return build_des(false, rounds); }
+
+xag gen_des_expanded(uint32_t rounds) { return build_des(true, rounds); }
+
+uint64_t des_encrypt_reference(uint64_t plaintext, uint64_t key)
+{
+    // Bit 1 of the standard = MSB of the 64-bit value.
+    const auto get = [](uint64_t v, int bit_1based, int width) {
+        return (v >> (width - bit_1based)) & 1;
+    };
+
+    // Key schedule.
+    uint64_t cd = 0;
+    for (int i = 0; i < 56; ++i)
+        cd = (cd << 1) | get(key, pc1_table[i], 64);
+    uint32_t c = static_cast<uint32_t>(cd >> 28) & 0xfffffff;
+    uint32_t d = static_cast<uint32_t>(cd) & 0xfffffff;
+    uint64_t round_keys[16];
+    for (int r = 0; r < 16; ++r) {
+        const auto s = shift_schedule[r];
+        c = ((c << s) | (c >> (28 - s))) & 0xfffffff;
+        d = ((d << s) | (d >> (28 - s))) & 0xfffffff;
+        const uint64_t merged = (static_cast<uint64_t>(c) << 28) | d;
+        uint64_t rk = 0;
+        for (int i = 0; i < 48; ++i)
+            rk = (rk << 1) | get(merged, pc2_table[i], 56);
+        round_keys[r] = rk;
+    }
+
+    uint64_t ip = 0;
+    for (int i = 0; i < 64; ++i)
+        ip = (ip << 1) | get(plaintext, ip_table[i], 64);
+    uint32_t left = static_cast<uint32_t>(ip >> 32);
+    uint32_t right = static_cast<uint32_t>(ip);
+
+    for (int r = 0; r < 16; ++r) {
+        uint64_t expanded = 0;
+        for (int i = 0; i < 48; ++i)
+            expanded = (expanded << 1) | get(right, e_table[i], 32);
+        expanded ^= round_keys[r];
+        uint32_t substituted = 0;
+        for (int box = 0; box < 8; ++box) {
+            const auto chunk =
+                static_cast<uint8_t>((expanded >> (42 - 6 * box)) & 0x3f);
+            substituted = (substituted << 4) | sbox_lookup(box, chunk);
+        }
+        uint32_t f = 0;
+        for (int i = 0; i < 32; ++i)
+            f = (f << 1) | get(substituted, p_table[i], 32);
+        const uint32_t new_right = left ^ f;
+        left = right;
+        right = new_right;
+    }
+    const uint64_t preoutput =
+        (static_cast<uint64_t>(right) << 32) | left;
+    uint64_t out = 0;
+    for (int i = 0; i < 64; ++i)
+        out = (out << 1) | get(preoutput, fp_table[i], 64);
+    return out;
+}
+
+} // namespace mcx

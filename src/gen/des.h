@@ -1,0 +1,26 @@
+// DES circuit generator (paper Table 2 rows "DES (No/With Key Expansion)").
+//
+// All permutations (IP, FP, E, P, PC-1, PC-2, rotations) are pure wiring;
+// the AND gates come from the eight 6->4 S-boxes, generated as shared
+// minterm decoders with XOR accumulation (disjoint minterms), which lands
+// the initial multiplicative complexity in the same regime as the paper's
+// source circuit (~18k ANDs for 16 rounds).
+#pragma once
+
+#include "xag/xag.h"
+
+#include <cstdint>
+
+namespace mcx {
+
+/// Full 16-round DES, key schedule (wiring only) inside:
+/// 128 PIs (64 plaintext + 64 key incl. parity) -> 64 POs.
+xag gen_des(uint32_t rounds = 16);
+
+/// DES with pre-expanded round keys: 64 + 16*48 = 832 PIs -> 64 POs.
+xag gen_des_expanded(uint32_t rounds = 16);
+
+/// Software reference for tests.
+uint64_t des_encrypt_reference(uint64_t plaintext, uint64_t key);
+
+} // namespace mcx

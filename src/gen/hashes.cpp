@@ -1,0 +1,287 @@
+#include "gen/hashes.h"
+
+#include "gen/word_ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcx {
+
+namespace {
+
+/// 32-bit word from block bytes, little endian (MD5).
+word le_word(std::span<const signal> block_bits, uint32_t word_index)
+{
+    word w(32);
+    for (uint32_t i = 0; i < 32; ++i)
+        w[i] = block_bits[8 * (4 * word_index + i / 8) + i % 8];
+    return w;
+}
+
+/// 32-bit word from block bytes, big endian (SHA family).
+word be_word(std::span<const signal> block_bits, uint32_t word_index)
+{
+    word w(32);
+    for (uint32_t i = 0; i < 32; ++i)
+        w[i] = block_bits[8 * (4 * word_index + 3 - i / 8) + i % 8];
+    return w;
+}
+
+/// Rotate a 32-bit word left (pure wiring).
+word rotl(const word& w, uint32_t r) { return rotate_left(w, r); }
+
+/// Rotate right.
+word rotr(const word& w, uint32_t r) { return rotate_left(w, 32 - (r % 32)); }
+
+/// Bitwise if-then-else (one AND per bit): sel ? a : b.
+word ite_word(xag& net, const word& sel, const word& a, const word& b)
+{
+    word r(32);
+    for (uint32_t i = 0; i < 32; ++i)
+        r[i] = net.create_ite(sel[i], a[i], b[i]);
+    return r;
+}
+
+/// Bitwise majority, textbook 3-AND form (the optimizer's favourite food).
+word maj_word(xag& net, const word& a, const word& b, const word& c)
+{
+    word r(32);
+    for (uint32_t i = 0; i < 32; ++i)
+        r[i] = net.create_maj_naive(a[i], b[i], c[i]);
+    return r;
+}
+
+void output_word_le(xag& net, const word& w)
+{
+    for (uint32_t i = 0; i < 32; ++i)
+        net.create_po(w[i]); // byte order == bit group order, LSB-first
+}
+
+void output_word_be(xag& net, const word& w)
+{
+    for (uint32_t byte = 4; byte-- > 0;)
+        for (uint32_t bit = 0; bit < 8; ++bit)
+            net.create_po(w[8 * byte + bit]);
+}
+
+} // namespace
+
+xag gen_md5()
+{
+    xag net;
+    std::vector<signal> block;
+    for (int i = 0; i < 512; ++i)
+        block.push_back(net.create_pi());
+
+    std::array<word, 16> m;
+    for (uint32_t i = 0; i < 16; ++i)
+        m[i] = le_word(block, i);
+
+    constexpr std::array<uint32_t, 16> shifts{7, 12, 17, 22, 5, 9,  14, 20,
+                                              4, 11, 16, 23, 6, 10, 15, 21};
+
+    word a = constant_word(net, 0x67452301u, 32);
+    word b = constant_word(net, 0xefcdab89u, 32);
+    word c = constant_word(net, 0x98badcfeu, 32);
+    word d = constant_word(net, 0x10325476u, 32);
+    const word a0 = a, b0 = b, c0 = c, d0 = d;
+
+    for (uint32_t i = 0; i < 64; ++i) {
+        word f;
+        uint32_t g = 0;
+        if (i < 16) {
+            f = ite_word(net, b, c, d);
+            g = i;
+        } else if (i < 32) {
+            f = ite_word(net, d, b, c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = xor_words(net, xor_words(net, b, c), d);
+            g = (3 * i + 5) % 16;
+        } else {
+            // I(b,c,d) = c ^ (b | ~d)
+            f = xor_words(net, c, or_words(net, b, not_word(d)));
+            g = (7 * i) % 16;
+        }
+        const auto k = static_cast<uint32_t>(
+            std::floor(std::fabs(std::sin(static_cast<double>(i) + 1.0)) *
+                       4294967296.0));
+        auto sum = add_mod(net, a, f);
+        sum = add_mod(net, sum, constant_word(net, k, 32));
+        sum = add_mod(net, sum, m[g]);
+        const auto rotated = rotl(sum, shifts[4 * (i / 16) + i % 4]);
+        const auto new_b = add_mod(net, b, rotated);
+        a = d;
+        d = c;
+        c = b;
+        b = new_b;
+    }
+    output_word_le(net, add_mod(net, a0, a));
+    output_word_le(net, add_mod(net, b0, b));
+    output_word_le(net, add_mod(net, c0, c));
+    output_word_le(net, add_mod(net, d0, d));
+    return net;
+}
+
+xag gen_sha1()
+{
+    xag net;
+    std::vector<signal> block;
+    for (int i = 0; i < 512; ++i)
+        block.push_back(net.create_pi());
+
+    std::array<word, 80> w;
+    for (uint32_t i = 0; i < 16; ++i)
+        w[i] = be_word(block, i);
+    for (uint32_t i = 16; i < 80; ++i)
+        w[i] = rotl(xor_words(net,
+                              xor_words(net, w[i - 3], w[i - 8]),
+                              xor_words(net, w[i - 14], w[i - 16])),
+                    1);
+
+    word h0 = constant_word(net, 0x67452301u, 32);
+    word h1 = constant_word(net, 0xefcdab89u, 32);
+    word h2 = constant_word(net, 0x98badcfeu, 32);
+    word h3 = constant_word(net, 0x10325476u, 32);
+    word h4 = constant_word(net, 0xc3d2e1f0u, 32);
+    word a = h0, b = h1, c = h2, d = h3, e = h4;
+
+    for (uint32_t i = 0; i < 80; ++i) {
+        word f;
+        uint32_t k = 0;
+        if (i < 20) {
+            f = ite_word(net, b, c, d);
+            k = 0x5a827999;
+        } else if (i < 40) {
+            f = xor_words(net, xor_words(net, b, c), d);
+            k = 0x6ed9eba1;
+        } else if (i < 60) {
+            f = maj_word(net, b, c, d);
+            k = 0x8f1bbcdc;
+        } else {
+            f = xor_words(net, xor_words(net, b, c), d);
+            k = 0xca62c1d6;
+        }
+        auto temp = add_mod(net, rotl(a, 5), f);
+        temp = add_mod(net, temp, e);
+        temp = add_mod(net, temp, constant_word(net, k, 32));
+        temp = add_mod(net, temp, w[i]);
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = temp;
+    }
+    output_word_be(net, add_mod(net, h0, a));
+    output_word_be(net, add_mod(net, h1, b));
+    output_word_be(net, add_mod(net, h2, c));
+    output_word_be(net, add_mod(net, h3, d));
+    output_word_be(net, add_mod(net, h4, e));
+    return net;
+}
+
+xag gen_sha256()
+{
+    xag net;
+    std::vector<signal> block;
+    for (int i = 0; i < 512; ++i)
+        block.push_back(net.create_pi());
+
+    // Round and initialization constants from the fractional parts of the
+    // cube/square roots of the first primes (computed, not transcribed).
+    std::array<uint32_t, 64> k{};
+    std::array<uint32_t, 8> h_init{};
+    {
+        std::array<uint32_t, 64> primes{};
+        uint32_t found = 0;
+        for (uint32_t p = 2; found < 64; ++p) {
+            bool prime = true;
+            for (uint32_t q = 2; q * q <= p; ++q)
+                if (p % q == 0) {
+                    prime = false;
+                    break;
+                }
+            if (prime)
+                primes[found++] = p;
+        }
+        for (int i = 0; i < 64; ++i) {
+            const long double root = cbrtl(static_cast<long double>(primes[i]));
+            k[i] = static_cast<uint32_t>(
+                std::floor((root - std::floor(root)) * 4294967296.0L));
+        }
+        for (int i = 0; i < 8; ++i) {
+            const long double root = sqrtl(static_cast<long double>(primes[i]));
+            h_init[i] = static_cast<uint32_t>(
+                std::floor((root - std::floor(root)) * 4294967296.0L));
+        }
+    }
+
+    std::array<word, 64> w;
+    for (uint32_t i = 0; i < 16; ++i)
+        w[i] = be_word(block, i);
+    for (uint32_t i = 16; i < 64; ++i) {
+        const auto s0 = xor_words(
+            net, xor_words(net, rotr(w[i - 15], 7), rotr(w[i - 15], 18)),
+            shift_right(net, w[i - 15], 3));
+        const auto s1 = xor_words(
+            net, xor_words(net, rotr(w[i - 2], 17), rotr(w[i - 2], 19)),
+            shift_right(net, w[i - 2], 10));
+        w[i] = add_mod(net, add_mod(net, w[i - 16], s0),
+                       add_mod(net, w[i - 7], s1));
+    }
+
+    std::array<word, 8> h;
+    for (int i = 0; i < 8; ++i)
+        h[i] = constant_word(net, h_init[i], 32);
+    word a = h[0], b = h[1], c = h[2], d = h[3];
+    word e = h[4], f = h[5], g = h[6], hh = h[7];
+
+    for (uint32_t i = 0; i < 64; ++i) {
+        const auto big_s1 =
+            xor_words(net, xor_words(net, rotr(e, 6), rotr(e, 11)),
+                      rotr(e, 25));
+        const auto ch = ite_word(net, e, f, g);
+        auto temp1 = add_mod(net, hh, big_s1);
+        temp1 = add_mod(net, temp1, ch);
+        temp1 = add_mod(net, temp1, constant_word(net, k[i], 32));
+        temp1 = add_mod(net, temp1, w[i]);
+        const auto big_s0 =
+            xor_words(net, xor_words(net, rotr(a, 2), rotr(a, 13)),
+                      rotr(a, 22));
+        const auto maj = maj_word(net, a, b, c);
+        const auto temp2 = add_mod(net, big_s0, maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = add_mod(net, d, temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = add_mod(net, temp1, temp2);
+    }
+    const std::array<word, 8> final_state{a, b, c, d, e, f, g, hh};
+    for (int i = 0; i < 8; ++i)
+        output_word_be(net, add_mod(net, h[i], final_state[i]));
+    return net;
+}
+
+std::array<uint8_t, 64> pad_single_block(const std::vector<uint8_t>& message,
+                                         bool big_endian_length)
+{
+    if (message.size() > 55)
+        throw std::invalid_argument{"pad_single_block: message too long"};
+    std::array<uint8_t, 64> block{};
+    for (size_t i = 0; i < message.size(); ++i)
+        block[i] = message[i];
+    block[message.size()] = 0x80;
+    const uint64_t bit_length = 8 * message.size();
+    for (int i = 0; i < 8; ++i) {
+        if (big_endian_length)
+            block[56 + i] = static_cast<uint8_t>(bit_length >> (8 * (7 - i)));
+        else
+            block[56 + i] = static_cast<uint8_t>(bit_length >> (8 * i));
+    }
+    return block;
+}
+
+} // namespace mcx

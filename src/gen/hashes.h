@@ -1,0 +1,33 @@
+// Hash-compression circuit generators (paper Table 2 rows MD5, SHA-1,
+// SHA-256).  One 512-bit message block, IV fixed to the standard initial
+// values, digest as primary outputs.  All word additions are ripple-carry
+// (Fig. 1-style full adders) — the generic structure whose AND count the
+// paper's method reduces by ~66 %.
+//
+// PI convention: 64 message bytes in order; each byte LSB-first.
+// PO convention: digest bytes in standard order; each byte LSB-first.
+#pragma once
+
+#include "xag/xag.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mcx {
+
+/// MD5 of one padded block: 512 PIs -> 128 POs.
+xag gen_md5();
+
+/// SHA-1 of one padded block: 512 PIs -> 160 POs.
+xag gen_sha1();
+
+/// SHA-256 of one padded block: 512 PIs -> 256 POs.
+xag gen_sha256();
+
+/// Single-block padding of a short message (<= 55 bytes) for the MD5 (little
+/// endian length) or SHA (big endian length) families.
+std::array<uint8_t, 64> pad_single_block(const std::vector<uint8_t>& message,
+                                         bool big_endian_length);
+
+} // namespace mcx

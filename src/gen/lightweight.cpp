@@ -1,0 +1,203 @@
+#include "gen/lightweight.h"
+
+#include "gen/word_ops.h"
+
+#include <stdexcept>
+
+namespace mcx {
+
+namespace {
+
+uint64_t rotl_value(uint64_t v, uint32_t r, uint32_t bits)
+{
+    r %= bits;
+    const uint64_t mask = bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+    return ((v << r) | (v >> (bits - r))) & mask;
+}
+
+/// Keccak round count for width 25 * lane_bits: 12 + 2*log2(lane_bits).
+uint32_t keccak_rounds(uint32_t lane_bits)
+{
+    uint32_t l = 0;
+    while ((1u << l) < lane_bits)
+        ++l;
+    return 12 + 2 * l;
+}
+
+/// Keccak round constants from the spec LFSR (x^8+x^6+x^5+x^4+1).
+std::vector<uint64_t> keccak_round_constants(uint32_t lane_bits)
+{
+    const auto rounds = keccak_rounds(lane_bits);
+    std::vector<uint64_t> rc(rounds, 0);
+    uint8_t lfsr = 1;
+    const auto step = [&]() {
+        const bool bit = (lfsr & 1) != 0;
+        lfsr = static_cast<uint8_t>((lfsr >> 1) ^ (bit ? 0x8e : 0));
+        return bit;
+    };
+    for (uint32_t ir = 0; ir < rounds; ++ir)
+        for (uint32_t j = 0; j <= 6; ++j) {
+            const uint32_t pos = (1u << j) - 1; // bit positions 0,1,3,7,...
+            if (step() && pos < lane_bits)
+                rc[ir] |= uint64_t{1} << pos;
+        }
+    return rc;
+}
+
+/// Rho rotation offsets from the spec iteration.
+std::array<uint32_t, 25> keccak_rho_offsets(uint32_t lane_bits)
+{
+    std::array<uint32_t, 25> offsets{};
+    uint32_t x = 1, y = 0;
+    for (uint32_t t = 0; t < 24; ++t) {
+        offsets[x + 5 * y] = ((t + 1) * (t + 2) / 2) % lane_bits;
+        const auto nx = y;
+        const auto ny = (2 * x + 3 * y) % 5;
+        x = nx;
+        y = ny;
+    }
+    return offsets;
+}
+
+} // namespace
+
+xag gen_simon(uint32_t word_bits, uint32_t rounds)
+{
+    if (word_bits < 9 || word_bits > 64)
+        throw std::invalid_argument{"gen_simon: word width 9..64"};
+    xag net;
+    auto x = input_word(net, word_bits);
+    auto y = input_word(net, word_bits);
+    for (uint32_t r = 0; r < rounds; ++r) {
+        const auto k = input_word(net, word_bits);
+        const auto s1 = rotate_left(x, 1);
+        const auto s8 = rotate_left(x, 8);
+        const auto s2 = rotate_left(x, 2);
+        const auto f = xor_words(net, and_words(net, s1, s8), s2);
+        const auto new_x = xor_words(net, xor_words(net, y, f), k);
+        y = x;
+        x = new_x;
+    }
+    for (const auto s : x)
+        net.create_po(s);
+    for (const auto s : y)
+        net.create_po(s);
+    return net;
+}
+
+std::pair<uint64_t, uint64_t> simon_encrypt_reference(
+    uint32_t word_bits, uint64_t x, uint64_t y,
+    const std::vector<uint64_t>& round_keys)
+{
+    const uint64_t mask =
+        word_bits == 64 ? ~uint64_t{0} : (uint64_t{1} << word_bits) - 1;
+    for (const auto k : round_keys) {
+        const auto f = (rotl_value(x, 1, word_bits) &
+                        rotl_value(x, 8, word_bits)) ^
+                       rotl_value(x, 2, word_bits);
+        const auto new_x = (y ^ f ^ k) & mask;
+        y = x;
+        x = new_x;
+    }
+    return {x, y};
+}
+
+xag gen_keccak_f(uint32_t lane_bits)
+{
+    if (lane_bits < 8 || lane_bits > 64 ||
+        (lane_bits & (lane_bits - 1)) != 0)
+        throw std::invalid_argument{"gen_keccak_f: lane width 8/16/32/64"};
+    xag net;
+    std::array<word, 25> lanes;
+    for (auto& lane : lanes)
+        lane = input_word(net, lane_bits);
+
+    const auto rc = keccak_round_constants(lane_bits);
+    const auto rho = keccak_rho_offsets(lane_bits);
+
+    for (uint32_t round = 0; round < keccak_rounds(lane_bits); ++round) {
+        // Theta.
+        std::array<word, 5> column_parity;
+        for (uint32_t cx = 0; cx < 5; ++cx) {
+            column_parity[cx] = lanes[cx];
+            for (uint32_t cy = 1; cy < 5; ++cy)
+                column_parity[cx] =
+                    xor_words(net, column_parity[cx], lanes[cx + 5 * cy]);
+        }
+        for (uint32_t cx = 0; cx < 5; ++cx) {
+            const auto d = xor_words(net, column_parity[(cx + 4) % 5],
+                                     rotate_left(column_parity[(cx + 1) % 5], 1));
+            for (uint32_t cy = 0; cy < 5; ++cy)
+                lanes[cx + 5 * cy] = xor_words(net, lanes[cx + 5 * cy], d);
+        }
+        // Rho + Pi.
+        std::array<word, 25> moved;
+        for (uint32_t cx = 0; cx < 5; ++cx)
+            for (uint32_t cy = 0; cy < 5; ++cy) {
+                const auto src = cx + 5 * cy;
+                const auto dst = cy + 5 * ((2 * cx + 3 * cy) % 5);
+                moved[dst] = rotate_left(lanes[src], rho[src]);
+            }
+        // Chi: the nonlinear layer (one AND per bit).
+        for (uint32_t cy = 0; cy < 5; ++cy)
+            for (uint32_t cx = 0; cx < 5; ++cx) {
+                const auto& a = moved[cx + 5 * cy];
+                const auto& b = moved[(cx + 1) % 5 + 5 * cy];
+                const auto& c = moved[(cx + 2) % 5 + 5 * cy];
+                word out(lane_bits);
+                for (uint32_t i = 0; i < lane_bits; ++i)
+                    out[i] = net.create_xor(a[i],
+                                            net.create_and(!b[i], c[i]));
+                lanes[cx + 5 * cy] = out;
+            }
+        // Iota.
+        for (uint32_t i = 0; i < lane_bits; ++i)
+            if ((rc[round] >> i) & 1)
+                lanes[0][i] = !lanes[0][i];
+    }
+    for (const auto& lane : lanes)
+        for (const auto s : lane)
+            net.create_po(s);
+    return net;
+}
+
+std::vector<uint64_t> keccak_f_reference(uint32_t lane_bits,
+                                         std::vector<uint64_t> state)
+{
+    if (state.size() != 25)
+        throw std::invalid_argument{"keccak_f_reference: 25 lanes"};
+    const uint64_t mask =
+        lane_bits == 64 ? ~uint64_t{0} : (uint64_t{1} << lane_bits) - 1;
+    const auto rc = keccak_round_constants(lane_bits);
+    const auto rho = keccak_rho_offsets(lane_bits);
+
+    for (uint32_t round = 0; round < keccak_rounds(lane_bits); ++round) {
+        uint64_t c[5], d[5];
+        for (int cx = 0; cx < 5; ++cx)
+            c[cx] = state[cx] ^ state[cx + 5] ^ state[cx + 10] ^
+                    state[cx + 15] ^ state[cx + 20];
+        for (int cx = 0; cx < 5; ++cx)
+            d[cx] = c[(cx + 4) % 5] ^ rotl_value(c[(cx + 1) % 5], 1, lane_bits);
+        for (int cx = 0; cx < 5; ++cx)
+            for (int cy = 0; cy < 5; ++cy)
+                state[cx + 5 * cy] = (state[cx + 5 * cy] ^ d[cx]) & mask;
+        std::vector<uint64_t> moved(25);
+        for (uint32_t cx = 0; cx < 5; ++cx)
+            for (uint32_t cy = 0; cy < 5; ++cy) {
+                const auto src = cx + 5 * cy;
+                const auto dst = cy + 5 * ((2 * cx + 3 * cy) % 5);
+                moved[dst] = rotl_value(state[src], rho[src], lane_bits);
+            }
+        for (uint32_t cy = 0; cy < 5; ++cy)
+            for (uint32_t cx = 0; cx < 5; ++cx)
+                state[cx + 5 * cy] =
+                    (moved[cx + 5 * cy] ^
+                     (~moved[(cx + 1) % 5 + 5 * cy] &
+                      moved[(cx + 2) % 5 + 5 * cy])) &
+                    mask;
+        state[0] = (state[0] ^ rc[round]) & mask;
+    }
+    return state;
+}
+
+} // namespace mcx

@@ -1,0 +1,33 @@
+// Lightweight-cipher circuit generators: Simon (the AND-frugal Feistel
+// cipher common in MPC benchmarking) and the Keccak-f permutation (whose
+// chi step is the only nonlinear layer of SHA-3).  Both take pre-expanded
+// keys / fixed round constants; all constants are derived from the spec
+// formulas at generation time (nothing transcribed).
+#pragma once
+
+#include "xag/xag.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mcx {
+
+/// Simon with pre-expanded round keys:
+/// 2*word_bits plaintext PIs + rounds*word_bits key PIs -> 2*word_bits POs.
+/// Round: (x, y) -> (y ^ f(x) ^ k, x), f(x) = (x<<<1 & x<<<8) ^ x<<<2.
+xag gen_simon(uint32_t word_bits = 16, uint32_t rounds = 32);
+
+/// Software reference (same interface: expanded keys).
+std::pair<uint64_t, uint64_t> simon_encrypt_reference(
+    uint32_t word_bits, uint64_t x, uint64_t y,
+    const std::vector<uint64_t>& round_keys);
+
+/// Keccak-f[25*lane_bits]: 25*lane_bits PIs -> 25*lane_bits POs.
+/// lane_bits = 8 gives Keccak-f[200] (18 rounds), 16 gives f[400], etc.
+xag gen_keccak_f(uint32_t lane_bits = 8);
+
+/// Software reference permutation on a 25-lane state.
+std::vector<uint64_t> keccak_f_reference(uint32_t lane_bits,
+                                         std::vector<uint64_t> state);
+
+} // namespace mcx

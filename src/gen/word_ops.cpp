@@ -1,0 +1,181 @@
+#include "gen/word_ops.h"
+
+#include <stdexcept>
+
+namespace mcx {
+
+word constant_word(xag& net, uint64_t value, uint32_t bits)
+{
+    word w(bits);
+    for (uint32_t i = 0; i < bits; ++i)
+        w[i] = net.get_constant(((value >> i) & 1) != 0);
+    return w;
+}
+
+word input_word(xag& net, uint32_t bits)
+{
+    word w(bits);
+    for (auto& s : w)
+        s = net.create_pi();
+    return w;
+}
+
+sum_carry add_words(xag& net, std::span<const signal> a,
+                    std::span<const signal> b, signal cin)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument{"add_words: width mismatch"};
+    sum_carry result;
+    result.sum.reserve(a.size());
+    auto carry = cin;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const auto axb = net.create_xor(a[i], b[i]);
+        result.sum.push_back(net.create_xor(axb, carry));
+        carry = net.create_or(net.create_and(a[i], b[i]),
+                              net.create_and(axb, carry));
+    }
+    result.carry = carry;
+    return result;
+}
+
+word add_mod(xag& net, std::span<const signal> a, std::span<const signal> b)
+{
+    return add_words(net, a, b, net.get_constant(false)).sum;
+}
+
+diff_borrow sub_words(xag& net, std::span<const signal> a,
+                      std::span<const signal> b)
+{
+    // a - b = a + ~b + 1; borrow = !carry_out.
+    const auto nb = not_word(b);
+    auto [sum, carry] = add_words(net, a, nb, net.get_constant(true));
+    return {std::move(sum), !carry};
+}
+
+word mux_word(xag& net, signal sel, std::span<const signal> a,
+              std::span<const signal> b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument{"mux_word: width mismatch"};
+    word w;
+    w.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        w.push_back(net.create_ite(sel, a[i], b[i]));
+    return w;
+}
+
+signal less_than_unsigned(xag& net, std::span<const signal> a,
+                          std::span<const signal> b)
+{
+    return sub_words(net, a, b).borrow;
+}
+
+signal less_equal_unsigned(xag& net, std::span<const signal> a,
+                           std::span<const signal> b)
+{
+    return !less_than_unsigned(net, b, a);
+}
+
+signal less_than_signed(xag& net, std::span<const signal> a,
+                        std::span<const signal> b)
+{
+    if (a.empty() || a.size() != b.size())
+        throw std::invalid_argument{"less_than_signed: width mismatch"};
+    // Flip the sign bits to map two's complement onto unsigned order.
+    word fa(a.begin(), a.end());
+    word fb(b.begin(), b.end());
+    fa.back() = !fa.back();
+    fb.back() = !fb.back();
+    return less_than_unsigned(net, fa, fb);
+}
+
+signal less_equal_signed(xag& net, std::span<const signal> a,
+                         std::span<const signal> b)
+{
+    return !less_than_signed(net, b, a);
+}
+
+word rotate_left(std::span<const signal> a, uint32_t amount)
+{
+    const auto n = a.size();
+    word w(n);
+    for (size_t i = 0; i < n; ++i)
+        w[(i + amount) % n] = a[i];
+    return w;
+}
+
+word shift_left(xag& net, std::span<const signal> a, uint32_t amount)
+{
+    word w(a.size(), net.get_constant(false));
+    for (size_t i = 0; i + amount < a.size(); ++i)
+        w[i + amount] = a[i];
+    return w;
+}
+
+word shift_right(xag& net, std::span<const signal> a, uint32_t amount)
+{
+    word w(a.size(), net.get_constant(false));
+    for (size_t i = amount; i < a.size(); ++i)
+        w[i - amount] = a[i];
+    return w;
+}
+
+word xor_words(xag& net, std::span<const signal> a, std::span<const signal> b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument{"xor_words: width mismatch"};
+    word w;
+    w.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        w.push_back(net.create_xor(a[i], b[i]));
+    return w;
+}
+
+word and_words(xag& net, std::span<const signal> a, std::span<const signal> b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument{"and_words: width mismatch"};
+    word w;
+    w.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        w.push_back(net.create_and(a[i], b[i]));
+    return w;
+}
+
+word or_words(xag& net, std::span<const signal> a, std::span<const signal> b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument{"or_words: width mismatch"};
+    word w;
+    w.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        w.push_back(net.create_or(a[i], b[i]));
+    return w;
+}
+
+word not_word(std::span<const signal> a)
+{
+    word w;
+    w.reserve(a.size());
+    for (const auto s : a)
+        w.push_back(!s);
+    return w;
+}
+
+word multiply_words(xag& net, std::span<const signal> a,
+                    std::span<const signal> b)
+{
+    const auto n = a.size();
+    const auto m = b.size();
+    word acc(n + m, net.get_constant(false));
+    for (size_t j = 0; j < m; ++j) {
+        // Partial product a * b_j, shifted by j, added into the accumulator.
+        word partial(n + m, net.get_constant(false));
+        for (size_t i = 0; i < n; ++i)
+            partial[i + j] = net.create_and(a[i], b[j]);
+        acc = add_mod(net, acc, partial);
+    }
+    return acc;
+}
+
+} // namespace mcx

@@ -1,0 +1,83 @@
+// Word-level building blocks over XAG signals (LSB-first signal vectors).
+// These are the textbook structures the benchmark generators are made of —
+// intentionally *not* MC-optimized, so the optimizer has realistic work to
+// do (the paper's initial circuits are equally generic).
+#pragma once
+
+#include "xag/xag.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcx {
+
+using word = std::vector<signal>; ///< LSB-first
+
+/// An all-constant word of the given value.
+word constant_word(xag& net, uint64_t value, uint32_t bits);
+
+/// Fresh primary inputs.
+word input_word(xag& net, uint32_t bits);
+
+struct sum_carry {
+    word sum;
+    signal carry;
+};
+
+/// Ripple-carry addition a + b + cin; full adders in the paper's Fig. 1(a)
+/// shape (3 AND gates per stage).
+sum_carry add_words(xag& net, std::span<const signal> a,
+                    std::span<const signal> b, signal cin);
+
+/// Addition modulo 2^n.
+word add_mod(xag& net, std::span<const signal> a, std::span<const signal> b);
+
+/// a - b (two's complement); `borrow_out` = 1 when a < b (unsigned).
+struct diff_borrow {
+    word difference;
+    signal borrow;
+};
+diff_borrow sub_words(xag& net, std::span<const signal> a,
+                      std::span<const signal> b);
+
+/// Bitwise select: sel ? a : b (one AND per bit).
+word mux_word(xag& net, signal sel, std::span<const signal> a,
+              std::span<const signal> b);
+
+/// Unsigned comparison a < b.
+signal less_than_unsigned(xag& net, std::span<const signal> a,
+                          std::span<const signal> b);
+
+/// Unsigned comparison a <= b.
+signal less_equal_unsigned(xag& net, std::span<const signal> a,
+                           std::span<const signal> b);
+
+/// Signed (two's complement) comparison a < b.
+signal less_than_signed(xag& net, std::span<const signal> a,
+                        std::span<const signal> b);
+
+/// Signed comparison a <= b.
+signal less_equal_signed(xag& net, std::span<const signal> a,
+                         std::span<const signal> b);
+
+/// Rotate left by a constant (pure wiring).
+word rotate_left(std::span<const signal> a, uint32_t amount);
+
+/// Shift left by a constant, filling with 0 (pure wiring).
+word shift_left(xag& net, std::span<const signal> a, uint32_t amount);
+
+/// Logical shift right by a constant, filling with 0 (pure wiring).
+word shift_right(xag& net, std::span<const signal> a, uint32_t amount);
+
+/// Bitwise operations.
+word xor_words(xag& net, std::span<const signal> a, std::span<const signal> b);
+word and_words(xag& net, std::span<const signal> a, std::span<const signal> b);
+word or_words(xag& net, std::span<const signal> a, std::span<const signal> b);
+word not_word(std::span<const signal> a);
+
+/// Schoolbook array multiplication (partial products + ripple adders).
+word multiply_words(xag& net, std::span<const signal> a,
+                    std::span<const signal> b);
+
+} // namespace mcx

@@ -1,0 +1,228 @@
+#include "io/bench.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace mcx {
+
+void write_bench(const xag& network, std::ostream& os)
+{
+    const auto name_of = [&](uint32_t n) { return "n" + std::to_string(n); };
+    const auto ref = [&](signal s) {
+        if (s.node() == 0)
+            return std::string{s.complemented() ? "vdd" : "gnd"};
+        return (s.complemented() ? "i" : "") + name_of(s.node());
+    };
+
+    os << "# mcx XAG: " << network.num_pis() << " inputs, "
+       << network.num_pos() << " outputs, " << network.num_ands() << " AND, "
+       << network.num_xors() << " XOR\n";
+    for (uint32_t i = 0; i < network.num_pis(); ++i)
+        os << "INPUT(" << name_of(network.pi_at(i)) << ")\n";
+    for (uint32_t i = 0; i < network.num_pos(); ++i)
+        os << "OUTPUT(po" << i << ")\n";
+    os << "gnd = CONST0\n";
+    os << "vdd = NOT(gnd)\n";
+
+    std::vector<bool> inverter_emitted(network.size(), false);
+    const auto require = [&](signal s) {
+        if (s.complemented() && s.node() != 0 &&
+            !inverter_emitted[s.node()]) {
+            os << 'i' << name_of(s.node()) << " = NOT(" << name_of(s.node())
+               << ")\n";
+            inverter_emitted[s.node()] = true;
+        }
+    };
+
+    for (const auto n : network.topological_order()) {
+        if (!network.is_gate(n))
+            continue;
+        const auto a = network.fanin0(n);
+        const auto b = network.fanin1(n);
+        require(a);
+        require(b);
+        os << name_of(n) << " = " << (network.is_and(n) ? "AND" : "XOR")
+           << '(' << ref(a) << ", " << ref(b) << ")\n";
+    }
+    for (uint32_t i = 0; i < network.num_pos(); ++i) {
+        const auto po = network.po_at(i);
+        require(po);
+        os << "po" << i << " = BUFF(" << ref(po) << ")\n";
+    }
+}
+
+void write_bench_file(const xag& network, const std::string& path)
+{
+    std::ofstream os{path};
+    if (!os)
+        throw std::runtime_error{"write_bench_file: cannot open " + path};
+    write_bench(network, os);
+}
+
+xag read_bench(std::istream& is)
+{
+    xag net;
+    std::unordered_map<std::string, signal> signals;
+    std::vector<std::pair<std::string, std::string>> pending_gates;
+    std::vector<std::string> outputs;
+
+    signals.emplace("gnd", net.get_constant(false));
+    signals.emplace("vdd", net.get_constant(true));
+
+    std::string line;
+    std::vector<std::tuple<std::string, std::string, std::vector<std::string>>>
+        gates;
+    while (std::getline(is, line)) {
+        // Strip comments and whitespace.
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.resize(hash);
+        std::string compact;
+        for (const char c : line)
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                compact.push_back(c);
+        if (compact.empty())
+            continue;
+
+        const auto open = compact.find('(');
+        const auto close = compact.rfind(')');
+        if (compact.rfind("INPUT(", 0) == 0) {
+            const auto name = compact.substr(6, close - 6);
+            signals.emplace(name, net.create_pi());
+            continue;
+        }
+        if (compact.rfind("OUTPUT(", 0) == 0) {
+            outputs.push_back(compact.substr(7, close - 7));
+            continue;
+        }
+        const auto eq = compact.find('=');
+        if (eq != std::string::npos && open == std::string::npos) {
+            // Parenthesis-free constant assignments.
+            const auto target = compact.substr(0, eq);
+            const auto value = compact.substr(eq + 1);
+            if (value == "CONST0" || value == "const0")
+                signals.insert_or_assign(target, net.get_constant(false));
+            else if (value == "CONST1" || value == "const1")
+                signals.insert_or_assign(target, net.get_constant(true));
+            else
+                throw std::invalid_argument{"read_bench: malformed line: " +
+                                            line};
+            continue;
+        }
+        if (eq == std::string::npos || open == std::string::npos ||
+            close == std::string::npos || open < eq)
+            throw std::invalid_argument{"read_bench: malformed line: " + line};
+        const auto target = compact.substr(0, eq);
+        auto kind = compact.substr(eq + 1, open - eq - 1);
+        std::transform(kind.begin(), kind.end(), kind.begin(), ::toupper);
+        std::vector<std::string> args;
+        std::string arg;
+        for (size_t i = open + 1; i < close; ++i) {
+            if (compact[i] == ',') {
+                args.push_back(arg);
+                arg.clear();
+            } else {
+                arg.push_back(compact[i]);
+            }
+        }
+        if (!arg.empty())
+            args.push_back(arg);
+        if (kind == "CONST0") {
+            signals.insert_or_assign(target, net.get_constant(false));
+            continue;
+        }
+        if (kind == "CONST1") {
+            signals.insert_or_assign(target, net.get_constant(true));
+            continue;
+        }
+        gates.emplace_back(target, kind, args);
+    }
+
+    // Resolve gates iteratively (BENCH files may be unordered).
+    bool progress = true;
+    while (!gates.empty() && progress) {
+        progress = false;
+        for (size_t i = 0; i < gates.size();) {
+            const auto& [target, kind, args] = gates[i];
+            bool ready = true;
+            for (const auto& a : args)
+                if (!signals.count(a)) {
+                    ready = false;
+                    break;
+                }
+            if (!ready) {
+                ++i;
+                continue;
+            }
+            std::vector<signal> ins;
+            for (const auto& a : args)
+                ins.push_back(signals.at(a));
+            signal out;
+            const auto tree = [&](auto&& combine) {
+                auto acc = ins[0];
+                for (size_t k = 1; k < ins.size(); ++k)
+                    acc = combine(acc, ins[k]);
+                return acc;
+            };
+            if (kind == "AND")
+                out = tree([&](signal x, signal y) {
+                    return net.create_and(x, y);
+                });
+            else if (kind == "OR")
+                out = tree([&](signal x, signal y) {
+                    return net.create_or(x, y);
+                });
+            else if (kind == "NAND")
+                out = !tree([&](signal x, signal y) {
+                    return net.create_and(x, y);
+                });
+            else if (kind == "NOR")
+                out = !tree([&](signal x, signal y) {
+                    return net.create_or(x, y);
+                });
+            else if (kind == "XOR")
+                out = tree([&](signal x, signal y) {
+                    return net.create_xor(x, y);
+                });
+            else if (kind == "XNOR")
+                out = !tree([&](signal x, signal y) {
+                    return net.create_xor(x, y);
+                });
+            else if (kind == "NOT" || kind == "INV")
+                out = !ins.at(0);
+            else if (kind == "BUF" || kind == "BUFF")
+                out = ins.at(0);
+            else
+                throw std::invalid_argument{"read_bench: unsupported gate " +
+                                            kind};
+            signals.insert_or_assign(target, out);
+            gates.erase(gates.begin() + static_cast<long>(i));
+            progress = true;
+        }
+    }
+    if (!gates.empty())
+        throw std::invalid_argument{
+            "read_bench: unresolved gates (cycle or missing signal)"};
+    for (const auto& name : outputs) {
+        const auto it = signals.find(name);
+        if (it == signals.end())
+            throw std::invalid_argument{"read_bench: undefined output " +
+                                        name};
+        net.create_po(it->second);
+    }
+    return net;
+}
+
+xag read_bench_file(const std::string& path)
+{
+    std::ifstream is{path};
+    if (!is)
+        throw std::runtime_error{"read_bench_file: cannot open " + path};
+    return read_bench(is);
+}
+
+} // namespace mcx

@@ -1,0 +1,22 @@
+// BENCH netlist I/O (the classic ISCAS/logic-synthesis interchange format;
+// the EPFL benchmark suite ships in it).
+#pragma once
+
+#include "xag/xag.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace mcx {
+
+/// Write as BENCH with AND / XOR / NOT gates.
+void write_bench(const xag& network, std::ostream& os);
+void write_bench_file(const xag& network, const std::string& path);
+
+/// Read a BENCH file; supported gates: AND, OR, NAND, NOR, XOR, XNOR, NOT,
+/// BUF(F), and the constants vdd/gnd.  Wider-than-2-input gates are split
+/// into balanced trees.
+xag read_bench(std::istream& is);
+xag read_bench_file(const std::string& path);
+
+} // namespace mcx

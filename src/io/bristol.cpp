@@ -1,0 +1,191 @@
+#include "io/bristol.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mcx {
+
+void write_bristol(const xag& network, std::ostream& os)
+{
+    if (network.num_pis() == 0)
+        throw std::invalid_argument{"write_bristol: at least one input"};
+
+    // Pass 1: assign wire numbers.  Inputs first; INV wires materialize
+    // complemented fanins; outputs must occupy the trailing wire numbers, so
+    // every PO gets a dedicated copy/INV gate at the end.
+    struct gate {
+        std::string kind;
+        uint32_t in0 = 0, in1 = 0, out = 0;
+        bool binary = true;
+    };
+    std::vector<gate> gates;
+    uint32_t next_wire = network.num_pis();
+
+    std::vector<uint32_t> node_wire(network.size(), 0);
+    std::map<uint32_t, uint32_t> inverted_wire; // node wire -> INV wire
+    for (uint32_t i = 0; i < network.num_pis(); ++i)
+        node_wire[network.pi_at(i)] = i;
+
+    bool have_const_false = false;
+    uint32_t const_false_wire = 0;
+    const auto constant_wire = [&](bool value) {
+        if (!have_const_false) {
+            const_false_wire = next_wire++;
+            gates.push_back(
+                {"XOR", 0, 0, const_false_wire, true}); // w0 ^ w0 = 0
+            have_const_false = true;
+        }
+        if (!value)
+            return const_false_wire;
+        const auto it = inverted_wire.find(const_false_wire);
+        if (it != inverted_wire.end())
+            return it->second;
+        const auto wire = next_wire++;
+        gates.push_back({"INV", const_false_wire, 0, wire, false});
+        inverted_wire.emplace(const_false_wire, wire);
+        return wire;
+    };
+
+    const auto wire_of = [&](signal s) -> uint32_t {
+        if (s.node() == 0)
+            return constant_wire(s.complemented());
+        const auto base = node_wire[s.node()];
+        if (!s.complemented())
+            return base;
+        const auto it = inverted_wire.find(base);
+        if (it != inverted_wire.end())
+            return it->second;
+        const auto wire = next_wire++;
+        gates.push_back({"INV", base, 0, wire, false});
+        inverted_wire.emplace(base, wire);
+        return wire;
+    };
+
+    for (const auto n : network.topological_order()) {
+        if (!network.is_gate(n))
+            continue;
+        const auto a = wire_of(network.fanin0(n));
+        const auto b = wire_of(network.fanin1(n));
+        node_wire[n] = next_wire++;
+        gates.push_back({network.is_and(n) ? "AND" : "XOR", a, b,
+                         node_wire[n], true});
+    }
+
+    // Trailing output copies.
+    std::vector<uint32_t> po_source;
+    for (uint32_t i = 0; i < network.num_pos(); ++i)
+        po_source.push_back(wire_of(network.po_at(i)));
+    for (uint32_t i = 0; i < network.num_pos(); ++i)
+        gates.push_back({"EQW", po_source[i], 0, next_wire++, false});
+
+    os << gates.size() << ' ' << next_wire << '\n';
+    os << "1 " << network.num_pis() << '\n';
+    os << "1 " << network.num_pos() << '\n';
+    os << '\n';
+    for (const auto& g : gates) {
+        if (g.binary)
+            os << "2 1 " << g.in0 << ' ' << g.in1 << ' ' << g.out << ' '
+               << g.kind << '\n';
+        else
+            os << "1 1 " << g.in0 << ' ' << g.out << ' ' << g.kind << '\n';
+    }
+}
+
+void write_bristol_file(const xag& network, const std::string& path)
+{
+    std::ofstream os{path};
+    if (!os)
+        throw std::runtime_error{"write_bristol_file: cannot open " + path};
+    write_bristol(network, os);
+}
+
+xag read_bristol(std::istream& is)
+{
+    uint64_t num_gates = 0, num_wires = 0;
+    if (!(is >> num_gates >> num_wires))
+        throw std::invalid_argument{"read_bristol: malformed header"};
+    uint32_t num_input_values = 0;
+    if (!(is >> num_input_values))
+        throw std::invalid_argument{"read_bristol: malformed input list"};
+    uint64_t total_inputs = 0;
+    std::vector<uint64_t> input_widths(num_input_values);
+    for (auto& w : input_widths) {
+        if (!(is >> w))
+            throw std::invalid_argument{"read_bristol: malformed input list"};
+        total_inputs += w;
+    }
+    uint32_t num_output_values = 0;
+    if (!(is >> num_output_values))
+        throw std::invalid_argument{"read_bristol: malformed output list"};
+    uint64_t total_outputs = 0;
+    for (uint32_t i = 0; i < num_output_values; ++i) {
+        uint64_t w = 0;
+        if (!(is >> w))
+            throw std::invalid_argument{"read_bristol: malformed output list"};
+        total_outputs += w;
+    }
+
+    xag net;
+    std::vector<signal> wires(num_wires, net.get_constant(false));
+    std::vector<bool> defined(num_wires, false);
+    for (uint64_t i = 0; i < total_inputs; ++i) {
+        wires[i] = net.create_pi();
+        defined[i] = true;
+    }
+
+    const auto in_wire = [&](uint64_t w) {
+        if (w >= num_wires || !defined[w])
+            throw std::invalid_argument{"read_bristol: undefined wire"};
+        return wires[w];
+    };
+
+    for (uint64_t g = 0; g < num_gates; ++g) {
+        uint32_t fan_in = 0, fan_out = 0;
+        if (!(is >> fan_in >> fan_out))
+            throw std::invalid_argument{"read_bristol: malformed gate"};
+        std::vector<uint64_t> ins(fan_in), outs(fan_out);
+        for (auto& w : ins)
+            is >> w;
+        for (auto& w : outs)
+            is >> w;
+        std::string kind;
+        if (!(is >> kind))
+            throw std::invalid_argument{"read_bristol: malformed gate"};
+        signal result;
+        if (kind == "AND" && fan_in == 2)
+            result = net.create_and(in_wire(ins[0]), in_wire(ins[1]));
+        else if (kind == "XOR" && fan_in == 2)
+            result = net.create_xor(in_wire(ins[0]), in_wire(ins[1]));
+        else if (kind == "INV" && fan_in == 1)
+            result = !in_wire(ins[0]);
+        else if (kind == "EQW" && fan_in == 1)
+            result = in_wire(ins[0]);
+        else if (kind == "EQ" && fan_in == 1)
+            result = net.get_constant(ins[0] != 0); // EQ takes a constant bit
+        else
+            throw std::invalid_argument{"read_bristol: unsupported gate " +
+                                        kind};
+        for (const auto w : outs) {
+            if (w >= num_wires)
+                throw std::invalid_argument{"read_bristol: wire out of range"};
+            wires[w] = result;
+            defined[w] = true;
+        }
+    }
+    for (uint64_t i = num_wires - total_outputs; i < num_wires; ++i)
+        net.create_po(in_wire(i));
+    return net;
+}
+
+xag read_bristol_file(const std::string& path)
+{
+    std::ifstream is{path};
+    if (!is)
+        throw std::runtime_error{"read_bristol_file: cannot open " + path};
+    return read_bristol(is);
+}
+
+} // namespace mcx

@@ -1,0 +1,27 @@
+// Bristol-fashion circuit I/O — the exchange format of the MPC community
+// and of the paper's Table 2 source circuits
+// (https://homes.esat.kuleuven.be/~nsmart/MPC/).  With the reader in place,
+// the original benchmark files can be dropped in whenever they are
+// available; the writer lets downstream MPC frameworks consume our
+// optimized circuits.
+//
+// Supported gates: AND, XOR, INV, EQ (constant), EQW (wire copy).
+#pragma once
+
+#include "xag/xag.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace mcx {
+
+/// Serialize to Bristol fashion: one input value of width num_pis, one
+/// output value of width num_pos; complemented edges become INV gates.
+void write_bristol(const xag& network, std::ostream& os);
+void write_bristol_file(const xag& network, const std::string& path);
+
+/// Parse a Bristol-fashion circuit into an XAG.
+xag read_bristol(std::istream& is);
+xag read_bristol_file(const std::string& path);
+
+} // namespace mcx

@@ -1,0 +1,83 @@
+#include "io/verilog.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace mcx {
+
+void write_verilog(const xag& network, std::ostream& os,
+                   const std::string& module_name)
+{
+    os << "module " << module_name << "(x, y);\n";
+    os << "  input [" << (network.num_pis() ? network.num_pis() - 1 : 0)
+       << ":0] x;\n";
+    os << "  output [" << (network.num_pos() ? network.num_pos() - 1 : 0)
+       << ":0] y;\n";
+
+    const auto ref = [&](signal s) -> std::string {
+        if (s.node() == 0)
+            return s.complemented() ? "1'b1" : "1'b0";
+        std::string base;
+        if (network.is_pi(s.node()))
+            base = "x[" + std::to_string(network.pi_index(s.node())) + "]";
+        else
+            base = "n" + std::to_string(s.node());
+        return s.complemented() ? "~" + base : base;
+    };
+
+    for (const auto n : network.topological_order()) {
+        if (!network.is_gate(n))
+            continue;
+        os << "  wire n" << n << ";\n";
+        os << "  assign n" << n << " = " << ref(network.fanin0(n))
+           << (network.is_and(n) ? " & " : " ^ ") << ref(network.fanin1(n))
+           << ";\n";
+    }
+    for (uint32_t i = 0; i < network.num_pos(); ++i)
+        os << "  assign y[" << i << "] = " << ref(network.po_at(i)) << ";\n";
+    os << "endmodule\n";
+}
+
+void write_verilog_file(const xag& network, const std::string& path,
+                        const std::string& module_name)
+{
+    std::ofstream os{path};
+    if (!os)
+        throw std::runtime_error{"write_verilog_file: cannot open " + path};
+    write_verilog(network, os, module_name);
+}
+
+void write_dot(const xag& network, std::ostream& os)
+{
+    os << "digraph xag {\n  rankdir=BT;\n";
+    for (uint32_t i = 0; i < network.num_pis(); ++i)
+        os << "  n" << network.pi_at(i)
+           << " [shape=triangle,label=\"x" << i << "\"];\n";
+    for (const auto n : network.topological_order()) {
+        if (!network.is_gate(n))
+            continue;
+        os << "  n" << n << " [shape="
+           << (network.is_and(n) ? "box,label=\"AND\"" : "ellipse,label=\"XOR\"")
+           << "];\n";
+        for (const auto fi : {network.fanin0(n), network.fanin1(n)})
+            os << "  n" << fi.node() << " -> n" << n
+               << (fi.complemented() ? " [style=dashed]" : "") << ";\n";
+    }
+    for (uint32_t i = 0; i < network.num_pos(); ++i) {
+        os << "  po" << i << " [shape=invtriangle,label=\"y" << i << "\"];\n";
+        const auto po = network.po_at(i);
+        os << "  n" << po.node() << " -> po" << i
+           << (po.complemented() ? " [style=dashed]" : "") << ";\n";
+    }
+    os << "}\n";
+}
+
+void write_dot_file(const xag& network, const std::string& path)
+{
+    std::ofstream os{path};
+    if (!os)
+        throw std::runtime_error{"write_dot_file: cannot open " + path};
+    write_dot(network, os);
+}
+
+} // namespace mcx

@@ -1,0 +1,21 @@
+// Structural Verilog and Graphviz DOT writers (export only).
+#pragma once
+
+#include "xag/xag.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace mcx {
+
+/// Gate-level Verilog module using assign statements over &, ^ and ~.
+void write_verilog(const xag& network, std::ostream& os,
+                   const std::string& module_name = "mcx_circuit");
+void write_verilog_file(const xag& network, const std::string& path,
+                        const std::string& module_name = "mcx_circuit");
+
+/// Graphviz dot (AND nodes boxed, XOR nodes oval, complemented edges dashed).
+void write_dot(const xag& network, std::ostream& os);
+void write_dot_file(const xag& network, const std::string& path);
+
+} // namespace mcx

@@ -1,0 +1,36 @@
+// Exhaustive NPN canonization for functions of up to 4 variables.
+//
+// NPN equivalence (negate inputs, permute inputs, negate output) is the
+// classification used by classic DAG-aware rewriting (paper ref [1]) and by
+// our generic-size baseline: in an XAG all three operations are free
+// (complemented edges), so a minimal circuit of the NPN representative is a
+// minimal circuit of every class member.
+#pragma once
+
+#include "tt/truth_table.h"
+
+#include <array>
+#include <cstdint>
+
+namespace mcx {
+
+/// f = transform.apply(representative):
+///   f(x) = output_negation ^ r(y) with y[i] = x[perm[i]] ^ neg bit i.
+struct npn_transform {
+    uint32_t num_vars = 0;
+    std::array<uint8_t, 4> perm{};  ///< representative input i reads x[perm[i]]
+    uint32_t input_negation = 0;    ///< bit i: complement representative input i
+    bool output_negation = false;
+
+    truth_table apply(const truth_table& representative) const;
+};
+
+struct npn_result {
+    truth_table representative;
+    npn_transform transform;
+};
+
+/// Smallest truth table in the NPN class of `f` plus the transform back.
+npn_result npn_canonize(const truth_table& f);
+
+} // namespace mcx

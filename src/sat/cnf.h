@@ -1,0 +1,24 @@
+// Tseitin encoding of XAGs into CNF.
+#pragma once
+
+#include "sat/solver.h"
+#include "xag/xag.h"
+
+#include <vector>
+
+namespace mcx::sat {
+
+/// Result of encoding a network: SAT literals for PIs, POs and every node.
+struct cnf_encoding {
+    std::vector<literal> pi_literals;
+    std::vector<literal> po_literals;
+    std::vector<literal> node_literals; ///< indexed by node id (live cone)
+};
+
+/// Encode `network` into `s`.  If `shared_pis` is non-empty it supplies the
+/// PI literals (for miters over a common input space); otherwise fresh
+/// variables are created.
+cnf_encoding encode(solver& s, const xag& network,
+                    const std::vector<literal>& shared_pis = {});
+
+} // namespace mcx::sat

@@ -1,0 +1,30 @@
+// Formal combinational equivalence checking via a SAT miter.
+#pragma once
+
+#include "sat/solver.h"
+#include "xag/xag.h"
+
+#include <optional>
+#include <vector>
+
+namespace mcx::sat {
+
+enum class equivalence_result : uint8_t {
+    equivalent,
+    not_equivalent,
+    undecided ///< conflict budget exhausted
+};
+
+struct equivalence_report {
+    equivalence_result result = equivalence_result::undecided;
+    /// PI assignment demonstrating a difference (when not equivalent).
+    std::optional<std::vector<bool>> counterexample;
+    solver_stats stats;
+};
+
+/// Build the pairwise-XOR miter of two networks over shared inputs and
+/// decide it.  `conflict_budget` = 0 runs to completion.
+equivalence_report check_equivalence(const xag& a, const xag& b,
+                                     uint64_t conflict_budget = 0);
+
+} // namespace mcx::sat

@@ -1,0 +1,143 @@
+// A self-contained CDCL SAT solver: two-literal watching, VSIDS decision
+// heuristic with phase saving, first-UIP conflict learning, Luby restarts,
+// and activity-based learnt-clause reduction.
+//
+// Substrate for exact multiplicative-complexity synthesis (src/exact) and
+// formal equivalence checking of optimized networks (src/sat/equivalence.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace mcx::sat {
+
+/// A literal: variable index with sign bit in the LSB.
+class literal {
+public:
+    constexpr literal() = default;
+    constexpr literal(uint32_t var, bool negative)
+        : code_{(var << 1) | static_cast<uint32_t>(negative)} {}
+
+    constexpr uint32_t var() const { return code_ >> 1; }
+    constexpr bool negative() const { return (code_ & 1) != 0; }
+    constexpr uint32_t code() const { return code_; }
+    constexpr literal operator~() const
+    {
+        literal l;
+        l.code_ = code_ ^ 1;
+        return l;
+    }
+    constexpr bool operator==(const literal&) const = default;
+
+private:
+    uint32_t code_ = 0;
+};
+
+enum class solve_result : uint8_t { satisfiable, unsatisfiable, undecided };
+
+struct solver_stats {
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learnt_removed = 0;
+};
+
+class solver {
+public:
+    solver();
+
+    uint32_t num_vars() const { return static_cast<uint32_t>(assign_.size()); }
+
+    /// A fresh variable; returns its index.
+    uint32_t add_variable();
+
+    /// Add a clause (disjunction of literals).  An empty clause makes the
+    /// instance trivially unsatisfiable.  Returns false if the clause is
+    /// already conflicting under top-level assignments.
+    bool add_clause(std::span<const literal> lits);
+    bool add_clause(std::initializer_list<literal> lits)
+    {
+        return add_clause(std::span<const literal>{lits.begin(), lits.size()});
+    }
+
+    /// Solve; `conflict_budget` = 0 means no budget (run to completion).
+    solve_result solve(uint64_t conflict_budget = 0);
+
+    /// Model value of a variable after a satisfiable solve.
+    bool model_value(uint32_t var) const { return assign_[var] == 1; }
+
+    const solver_stats& stats() const { return stats_; }
+
+    /// Instrumentation: invoked with every learnt clause (testing/debugging).
+    std::function<void(std::span<const literal>)> on_learnt;
+
+private:
+    struct clause {
+        std::vector<literal> lits;
+        double activity = 0.0;
+        bool learnt = false;
+    };
+
+    struct watcher {
+        uint32_t clause_index;
+        literal blocker;
+    };
+
+    static constexpr uint32_t no_reason = ~uint32_t{0};
+
+    int8_t value_of(literal l) const
+    {
+        const auto v = assign_[l.var()];
+        return v < 0 ? int8_t{-1} : int8_t{(v == 1) != l.negative()};
+    }
+
+    void enqueue(literal l, uint32_t reason);
+    uint32_t propagate(); ///< returns conflicting clause index or no_reason
+    void analyze(uint32_t conflict, std::vector<literal>& learnt,
+                 uint32_t& backtrack_level);
+    void backtrack(uint32_t level);
+    void attach_clause(uint32_t index);
+    uint32_t decision_level() const
+    {
+        return static_cast<uint32_t>(trail_lim_.size());
+    }
+    literal pick_branch();
+    void bump_var(uint32_t var);
+    void decay_var_activity() { var_inc_ /= 0.95; }
+    void bump_clause(clause& c);
+    void reduce_learnts();
+    static uint64_t luby(uint64_t i);
+
+    // heap of variables ordered by activity
+    void heap_insert(uint32_t var);
+    void heap_percolate_up(uint32_t pos);
+    void heap_percolate_down(uint32_t pos);
+    uint32_t heap_pop();
+
+    std::vector<clause> clauses_;
+    std::vector<uint32_t> learnt_indices_;
+    std::vector<std::vector<watcher>> watches_; ///< indexed by literal code
+    std::vector<int8_t> assign_;                ///< -1 / 0 / 1 per variable
+    std::vector<uint32_t> level_;
+    std::vector<uint32_t> reason_;
+    std::vector<literal> trail_;
+    std::vector<uint32_t> trail_lim_;
+    size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    std::vector<uint32_t> heap_;     ///< binary max-heap of variables
+    std::vector<uint32_t> heap_pos_; ///< position in heap_, or npos
+    std::vector<int8_t> saved_phase_;
+    double var_inc_ = 1.0;
+    double clause_inc_ = 1.0;
+
+    bool unsat_ = false;
+    solver_stats stats_;
+    std::vector<uint8_t> seen_;      ///< scratch for analyze()
+    std::vector<literal> to_clear_;  ///< marks to reset after analyze()
+};
+
+} // namespace mcx::sat

@@ -1,0 +1,111 @@
+#include "tt/operations.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mcx {
+
+truth_table expand(const truth_table& f, std::span<const uint32_t> position,
+                   uint32_t new_num_vars)
+{
+    if (position.size() != f.num_vars())
+        throw std::invalid_argument{"expand: one position per variable"};
+    truth_table r{new_num_vars};
+    for (uint64_t x = 0; x < r.num_bits(); ++x) {
+        uint64_t y = 0;
+        for (uint32_t i = 0; i < f.num_vars(); ++i)
+            y |= ((x >> position[i]) & 1) << i;
+        if (f.get_bit(y))
+            r.set_bit(x, true);
+    }
+    return r;
+}
+
+support_view shrink_to_support(const truth_table& f)
+{
+    support_view view;
+    view.support = f.support();
+    const auto k = static_cast<uint32_t>(view.support.size());
+    view.function = truth_table{k};
+    for (uint64_t x = 0; x < view.function.num_bits(); ++x) {
+        uint64_t y = 0;
+        for (uint32_t i = 0; i < k; ++i)
+            y |= ((x >> i) & 1) << view.support[i];
+        if (f.get_bit(y))
+            view.function.set_bit(x, true);
+    }
+    return view;
+}
+
+truth_table to_anf(const truth_table& f)
+{
+    // Moebius transform: butterfly with XOR accumulation.
+    truth_table a{f};
+    for (uint32_t k = 0; k < f.num_vars(); ++k) {
+        if (k < 6) {
+            const uint64_t mask = ~tt_projection_word(k);
+            const uint32_t shift = 1u << k;
+            for (auto& w : a.words())
+                w ^= (w & mask) << shift;
+        } else {
+            const size_t stride = size_t{1} << (k - 6);
+            auto& words = a.words();
+            for (size_t base = 0; base < words.size(); base += 2 * stride)
+                for (size_t i = 0; i < stride; ++i)
+                    words[base + stride + i] ^= words[base + i];
+        }
+    }
+    return a;
+}
+
+uint32_t degree(const truth_table& f)
+{
+    const auto a = to_anf(f);
+    uint32_t deg = 0;
+    for (uint64_t m = 0; m < a.num_bits(); ++m)
+        if (a.get_bit(m))
+            deg = std::max(deg, static_cast<uint32_t>(std::popcount(m)));
+    return deg;
+}
+
+bool is_affine_function(const truth_table& f)
+{
+    return degree(f) <= 1;
+}
+
+truth_table op_translation(const truth_table& f, uint32_t i, uint32_t j)
+{
+    if (i == j)
+        throw std::invalid_argument{"op_translation: i and j must differ"};
+    truth_table r{f.num_vars()};
+    for (uint64_t x = 0; x < f.num_bits(); ++x) {
+        const uint64_t y = x ^ (((x >> j) & 1) << i);
+        if (f.get_bit(y))
+            r.set_bit(x, true);
+    }
+    return r;
+}
+
+truth_table apply_affine(const truth_table& f,
+                         std::span<const uint32_t> columns, uint32_t c,
+                         uint32_t v, bool s)
+{
+    const uint32_t n = f.num_vars();
+    if (columns.size() != n)
+        throw std::invalid_argument{"apply_affine: one column per variable"};
+    truth_table r{n};
+    for (uint64_t y = 0; y < f.num_bits(); ++y) {
+        uint32_t my = 0;
+        for (uint32_t k = 0; k < n; ++k)
+            if ((y >> k) & 1)
+                my ^= columns[k];
+        const uint64_t x = (my ^ c) & ((1u << n) - 1);
+        const bool value = f.get_bit(x) ^
+            (std::popcount(v & static_cast<uint32_t>(y)) & 1) ^ s;
+        if (value)
+            r.set_bit(y, true);
+    }
+    return r;
+}
+
+} // namespace mcx

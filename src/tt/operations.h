@@ -1,0 +1,75 @@
+// Function-level operations on truth tables: variable expansion for cut
+// merging, support reduction, algebraic normal form, and the five affine
+// operations of the paper's Definition 2.1.
+#pragma once
+
+#include "tt/truth_table.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcx {
+
+/// Re-express `f` over `new_num_vars` variables where old variable i becomes
+/// variable `position[i]`.  Positions must be distinct and strictly below
+/// `new_num_vars`.  Used when merging cut truth tables onto a common leaf set.
+truth_table expand(const truth_table& f, std::span<const uint32_t> position,
+                   uint32_t new_num_vars);
+
+/// A function rewritten over exactly its support variables.
+struct support_view {
+    truth_table function;          ///< over support.size() variables
+    std::vector<uint32_t> support; ///< support[i] = original index of var i
+};
+
+/// Drop don't-care variables (paper Example 2.3 treats x3 as don't care).
+support_view shrink_to_support(const truth_table& f);
+
+/// Algebraic normal form: bit m of the result is the coefficient of the
+/// monomial prod_{i in m} x_i in the PPRM of f (Moebius transform; involutive).
+truth_table to_anf(const truth_table& f);
+
+/// Inverse of to_anf (the Moebius transform is an involution).
+inline truth_table from_anf(const truth_table& a) { return to_anf(a); }
+
+/// Algebraic degree; degree of the zero function is 0.
+uint32_t degree(const truth_table& f);
+
+/// True if f(x) = c0 ^ (c . x): degree <= 1.
+bool is_affine_function(const truth_table& f);
+
+// --- The five affine operations (paper Definition 2.1) ---------------------
+
+/// (1) Swap variables i and j.
+inline truth_table op_swap(const truth_table& f, uint32_t i, uint32_t j)
+{
+    return f.swap_vars(i, j);
+}
+
+/// (2) Complement variable i.
+inline truth_table op_input_complement(const truth_table& f, uint32_t i)
+{
+    return f.flip_var(i);
+}
+
+/// (3) Complement the function.
+inline truth_table op_output_complement(const truth_table& f) { return ~f; }
+
+/// (4) Translational operation: substitute x_i <- x_i ^ x_j (i != j).
+truth_table op_translation(const truth_table& f, uint32_t i, uint32_t j);
+
+/// (5) Disjoint translational operation: f <- f ^ x_i.
+inline truth_table op_disjoint_translation(const truth_table& f, uint32_t i)
+{
+    return f ^ truth_table::projection(f.num_vars(), i);
+}
+
+/// General affine evaluation g(y) = f(My ^ c) ^ (v . y) ^ s, where column k
+/// of M is `columns[k]` (an n-bit mask).  Used to verify classification
+/// results: every canonization is checked against this ground truth.
+truth_table apply_affine(const truth_table& f,
+                         std::span<const uint32_t> columns, uint32_t c,
+                         uint32_t v, bool s);
+
+} // namespace mcx

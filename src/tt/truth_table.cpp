@@ -1,0 +1,150 @@
+#include "tt/truth_table.h"
+
+#include <stdexcept>
+
+namespace mcx {
+
+truth_table truth_table::projection(uint32_t num_vars, uint32_t k)
+{
+    if (k >= num_vars)
+        throw std::invalid_argument{"projection: variable out of range"};
+    truth_table t{num_vars};
+    if (k < 6) {
+        const uint64_t pattern = tt_projection_word(k) & tt_mask(num_vars);
+        for (auto& w : t.words_)
+            w = pattern;
+    } else {
+        for (size_t i = 0; i < t.words_.size(); ++i)
+            if ((i >> (k - 6)) & 1)
+                t.words_[i] = ~uint64_t{0};
+    }
+    return t;
+}
+
+bool truth_table::has_var(uint32_t k) const
+{
+    return *this != flip_var(k);
+}
+
+std::vector<uint32_t> truth_table::support() const
+{
+    std::vector<uint32_t> vars;
+    for (uint32_t k = 0; k < num_vars_; ++k)
+        if (has_var(k))
+            vars.push_back(k);
+    return vars;
+}
+
+truth_table truth_table::flip_var(uint32_t k) const
+{
+    truth_table r{*this};
+    if (k < 6) {
+        const uint64_t mask = tt_projection_word(k);
+        const uint32_t shift = 1u << k;
+        for (auto& w : r.words_)
+            w = ((w & mask) >> shift) | ((w & ~mask) << shift);
+        r.mask_off();
+    } else {
+        const size_t stride = size_t{1} << (k - 6);
+        for (size_t base = 0; base < r.words_.size(); base += 2 * stride)
+            for (size_t i = 0; i < stride; ++i)
+                std::swap(r.words_[base + i], r.words_[base + stride + i]);
+    }
+    return r;
+}
+
+truth_table truth_table::swap_vars(uint32_t i, uint32_t j) const
+{
+    if (i == j)
+        return *this;
+    truth_table r{num_vars_};
+    for (uint64_t x = 0; x < num_bits(); ++x) {
+        const bool bi = (x >> i) & 1;
+        const bool bj = (x >> j) & 1;
+        uint64_t y = x;
+        y = (y & ~(uint64_t{1} << i)) | (uint64_t{bj} << i);
+        y = (y & ~(uint64_t{1} << j)) | (uint64_t{bi} << j);
+        if (get_bit(y))
+            r.set_bit(x, true);
+    }
+    return r;
+}
+
+truth_table truth_table::cofactor(uint32_t k, bool value) const
+{
+    // Copy the selected half onto both halves along variable k.
+    truth_table r{*this};
+    if (k < 6) {
+        const uint64_t mask = tt_projection_word(k);
+        const uint32_t shift = 1u << k;
+        for (auto& w : r.words_) {
+            const uint64_t half = value ? (w & mask) : (w & ~mask);
+            w = value ? (half | (half >> shift)) : (half | (half << shift));
+        }
+        r.mask_off();
+    } else {
+        const size_t stride = size_t{1} << (k - 6);
+        for (size_t base = 0; base < r.words_.size(); base += 2 * stride)
+            for (size_t i = 0; i < stride; ++i) {
+                const uint64_t half =
+                    value ? r.words_[base + stride + i] : r.words_[base + i];
+                r.words_[base + i] = half;
+                r.words_[base + stride + i] = half;
+            }
+    }
+    return r;
+}
+
+std::string truth_table::to_hex() const
+{
+    static const char* digits = "0123456789abcdef";
+    const uint32_t num_digits =
+        num_vars_ <= 2 ? 1u : 1u << (num_vars_ - 2);
+    std::string s;
+    s.reserve(num_digits);
+    for (uint32_t d = num_digits; d-- > 0;) {
+        const uint64_t word = words_[d >> 4];
+        s.push_back(digits[(word >> ((d & 15) * 4)) & 0xf]);
+    }
+    return s;
+}
+
+truth_table truth_table::from_hex(uint32_t num_vars, const std::string& hex)
+{
+    const uint32_t num_digits = num_vars <= 2 ? 1u : 1u << (num_vars - 2);
+    if (hex.size() != num_digits)
+        throw std::invalid_argument{"from_hex: wrong number of digits"};
+    truth_table t{num_vars};
+    for (uint32_t d = 0; d < num_digits; ++d) {
+        const char c = hex[num_digits - 1 - d];
+        uint64_t value = 0;
+        if (c >= '0' && c <= '9')
+            value = static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            value = static_cast<uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            value = static_cast<uint64_t>(c - 'A' + 10);
+        else
+            throw std::invalid_argument{"from_hex: invalid digit"};
+        t.words_[d >> 4] |= value << ((d & 15) * 4);
+    }
+    if (num_vars < 2 && (t.words_[0] & ~tt_mask(num_vars)) != 0)
+        throw std::invalid_argument{"from_hex: digit out of range"};
+    return t;
+}
+
+uint64_t truth_table::hash() const
+{
+    // splitmix64-style mixing over words and the variable count.
+    uint64_t h = 0x9e3779b97f4a7c15ull ^ num_vars_;
+    for (auto w : words_) {
+        h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        uint64_t z = h;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        h = z ^ (z >> 31);
+    }
+    return h;
+}
+
+} // namespace mcx

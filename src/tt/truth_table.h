@@ -1,0 +1,215 @@
+// Truth-table representation for Boolean functions.
+//
+// The paper's rewriting pipeline manipulates functions of at most 6 variables
+// (6-feasible cuts), which fit in a single 64-bit word (paper §4.1).  The
+// same class scales to more variables (vector of words) so that whole
+// networks can be simulated exhaustively in tests.
+//
+// Conventions: a function f over variables x0..x(n-1) is stored as bits
+// f(x) at bit position x, where variable i contributes bit i of the index.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mcx {
+
+/// Number of 64-bit words needed for a truth table on n variables.
+constexpr uint32_t tt_word_count(uint32_t num_vars)
+{
+    return num_vars <= 6 ? 1u : 1u << (num_vars - 6);
+}
+
+/// Bit mask of the valid bits in the (single) word of a small truth table.
+constexpr uint64_t tt_mask(uint32_t num_vars)
+{
+    return num_vars >= 6 ? ~uint64_t{0} : (uint64_t{1} << (1u << num_vars)) - 1;
+}
+
+/// Truth table of the projection x_k restricted to one 64-bit word;
+/// for k >= 6 the value depends on the word index (see truth_table::project).
+constexpr uint64_t tt_projection_word(uint32_t k)
+{
+    constexpr uint64_t masks[6] = {
+        0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+        0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull};
+    return masks[k];
+}
+
+/// A Boolean function on `num_vars()` variables, bit-packed.
+class truth_table {
+public:
+    truth_table() = default;
+
+    explicit truth_table(uint32_t num_vars)
+        : num_vars_{num_vars}, words_(tt_word_count(num_vars), 0) {}
+
+    /// Single-word constructor for functions of up to 6 variables.
+    truth_table(uint32_t num_vars, uint64_t bits)
+        : num_vars_{num_vars}, words_(tt_word_count(num_vars), 0)
+    {
+        words_[0] = bits & tt_mask(num_vars);
+    }
+
+    uint32_t num_vars() const { return num_vars_; }
+    uint64_t num_bits() const { return uint64_t{1} << num_vars_; }
+    const std::vector<uint64_t>& words() const { return words_; }
+    std::vector<uint64_t>& words() { return words_; }
+
+    /// The raw word of a small (<= 6 variable) function.
+    uint64_t word() const { return words_[0]; }
+
+    bool get_bit(uint64_t index) const
+    {
+        return (words_[index >> 6] >> (index & 63)) & 1;
+    }
+
+    void set_bit(uint64_t index, bool value)
+    {
+        if (value)
+            words_[index >> 6] |= uint64_t{1} << (index & 63);
+        else
+            words_[index >> 6] &= ~(uint64_t{1} << (index & 63));
+    }
+
+    /// f := x_k (projection onto variable k).
+    static truth_table projection(uint32_t num_vars, uint32_t k);
+
+    static truth_table constant(uint32_t num_vars, bool value)
+    {
+        truth_table t{num_vars};
+        if (value) {
+            for (auto& w : t.words_)
+                w = ~uint64_t{0};
+            t.words_[0] &= tt_mask(num_vars);
+            t.mask_off();
+        }
+        return t;
+    }
+
+    bool is_constant() const
+    {
+        if (words_[0] != 0 && words_[0] != tt_mask(num_vars_))
+            return false;
+        const uint64_t ref = words_[0] == 0 ? 0 : ~uint64_t{0};
+        for (size_t i = 1; i < words_.size(); ++i)
+            if (words_[i] != ref)
+                return false;
+        return true;
+    }
+
+    bool is_constant(bool value) const
+    {
+        return is_constant() && get_bit(0) == value;
+    }
+
+    uint64_t count_ones() const
+    {
+        uint64_t total = 0;
+        for (auto w : words_)
+            total += static_cast<uint64_t>(std::popcount(w));
+        return total;
+    }
+
+    truth_table operator~() const
+    {
+        truth_table r{*this};
+        for (auto& w : r.words_)
+            w = ~w;
+        r.mask_off();
+        return r;
+    }
+
+    truth_table operator&(const truth_table& other) const
+    {
+        truth_table r{*this};
+        for (size_t i = 0; i < words_.size(); ++i)
+            r.words_[i] &= other.words_[i];
+        return r;
+    }
+
+    truth_table operator|(const truth_table& other) const
+    {
+        truth_table r{*this};
+        for (size_t i = 0; i < words_.size(); ++i)
+            r.words_[i] |= other.words_[i];
+        return r;
+    }
+
+    truth_table operator^(const truth_table& other) const
+    {
+        truth_table r{*this};
+        for (size_t i = 0; i < words_.size(); ++i)
+            r.words_[i] ^= other.words_[i];
+        return r;
+    }
+
+    truth_table& operator&=(const truth_table& o) { return *this = *this & o; }
+    truth_table& operator|=(const truth_table& o) { return *this = *this | o; }
+    truth_table& operator^=(const truth_table& o) { return *this = *this ^ o; }
+
+    bool operator==(const truth_table& other) const
+    {
+        return num_vars_ == other.num_vars_ && words_ == other.words_;
+    }
+
+    bool operator!=(const truth_table& other) const { return !(*this == other); }
+
+    bool operator<(const truth_table& other) const
+    {
+        if (num_vars_ != other.num_vars_)
+            return num_vars_ < other.num_vars_;
+        for (size_t i = words_.size(); i-- > 0;)
+            if (words_[i] != other.words_[i])
+                return words_[i] < other.words_[i];
+        return false;
+    }
+
+    /// True if f depends on variable k.
+    bool has_var(uint32_t k) const;
+
+    /// Indices of all variables f depends on, ascending.
+    std::vector<uint32_t> support() const;
+
+    /// f with variable k complemented: g(x) = f(x ^ e_k).
+    truth_table flip_var(uint32_t k) const;
+
+    /// f with variables i and j exchanged.
+    truth_table swap_vars(uint32_t i, uint32_t j) const;
+
+    /// Cofactor f|x_k = value.  Result still has num_vars() variables.
+    truth_table cofactor(uint32_t k, bool value) const;
+
+    /// Lowercase hex, most significant word first (kitty-style).
+    std::string to_hex() const;
+
+    /// Parse `to_hex` output; throws std::invalid_argument on bad input.
+    static truth_table from_hex(uint32_t num_vars, const std::string& hex);
+
+    /// 64-bit hash suitable for unordered containers.
+    uint64_t hash() const;
+
+private:
+    void mask_off()
+    {
+        if (num_vars_ < 6)
+            words_[0] &= tt_mask(num_vars_);
+    }
+
+    uint32_t num_vars_ = 0;
+    std::vector<uint64_t> words_{0};
+};
+
+struct truth_table_hash {
+    size_t operator()(const truth_table& t) const { return t.hash(); }
+};
+
+} // namespace mcx
+
+template <>
+struct std::hash<mcx::truth_table> {
+    size_t operator()(const mcx::truth_table& t) const { return t.hash(); }
+};

@@ -1,0 +1,23 @@
+// Network hygiene: rebuilding a compacted copy (drop dead/dangling nodes,
+// re-strash) and splicing one network into another (used to insert database
+// circuits during rewriting and to compose generator blocks).
+#pragma once
+
+#include "xag/xag.h"
+
+#include <span>
+#include <vector>
+
+namespace mcx {
+
+/// A compacted, freshly strashed copy of `network`: only cones reachable
+/// from the primary outputs survive, node ids are in topological order.
+xag cleanup(const xag& network);
+
+/// Copy the logic of `src` into `dst`, substituting `leaf_map[i]` (a signal
+/// in dst) for PI i of src.  Returns the dst signals of src's primary
+/// outputs.  Shares structure with dst through strashing.
+std::vector<signal> insert_network(xag& dst, const xag& src,
+                                   std::span<const signal> leaf_map);
+
+} // namespace mcx

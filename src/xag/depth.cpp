@@ -1,0 +1,36 @@
+#include "xag/depth.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mcx {
+
+namespace {
+
+uint32_t longest_path(const xag& network, bool count_xor)
+{
+    std::vector<uint32_t> level(network.size(), 0);
+    uint32_t worst = 0;
+    for (const auto n : network.topological_order()) {
+        if (!network.is_gate(n))
+            continue;
+        const auto in_level = std::max(level[network.fanin0(n).node()],
+                                       level[network.fanin1(n).node()]);
+        const uint32_t cost = network.is_and(n) ? 1 : (count_xor ? 1 : 0);
+        level[n] = in_level + cost;
+    }
+    for (uint32_t i = 0; i < network.num_pos(); ++i)
+        worst = std::max(worst, level[network.po_at(i).node()]);
+    return worst;
+}
+
+} // namespace
+
+uint32_t depth(const xag& network) { return longest_path(network, true); }
+
+uint32_t and_depth(const xag& network)
+{
+    return longest_path(network, false);
+}
+
+} // namespace mcx

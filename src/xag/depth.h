@@ -1,0 +1,18 @@
+// Depth views of an XAG.  Both plain depth (every gate costs one level) and
+// multiplicative depth (only AND gates count) are provided; the latter is
+// the relevant metric for levelled FHE schemes.
+#pragma once
+
+#include "xag/xag.h"
+
+#include <cstdint>
+
+namespace mcx {
+
+/// Longest PI-to-PO path counting every gate.
+uint32_t depth(const xag& network);
+
+/// Longest PI-to-PO path counting only AND gates (multiplicative depth).
+uint32_t and_depth(const xag& network);
+
+} // namespace mcx

@@ -1,0 +1,33 @@
+#include "xag/verify.h"
+
+#include "xag/simulate.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace mcx {
+
+bool exhaustive_equal(const xag& a, const xag& b)
+{
+    if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos())
+        return false;
+    return simulate(a) == simulate(b);
+}
+
+bool random_simulation_equal(const xag& a, const xag& b, uint32_t rounds,
+                             uint64_t seed)
+{
+    if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos())
+        return false;
+    std::mt19937_64 rng{seed};
+    std::vector<uint64_t> words(a.num_pis());
+    for (uint32_t round = 0; round < rounds; ++round) {
+        for (auto& w : words)
+            w = rng();
+        if (simulate_words(a, words) != simulate_words(b, words))
+            return false;
+    }
+    return true;
+}
+
+} // namespace mcx

@@ -1,0 +1,20 @@
+// Functional-equivalence checks between two XAGs with the same interface.
+// Exhaustive simulation for small input counts, word-parallel random
+// simulation otherwise.  (Formal SAT-based checking lives in sat/equivalence.h.)
+#pragma once
+
+#include "xag/xag.h"
+
+#include <cstdint>
+
+namespace mcx {
+
+/// Exhaustively compare two networks (<= 16 PIs).
+bool exhaustive_equal(const xag& a, const xag& b);
+
+/// Compare under `rounds` batches of 64 random patterns.  A `false` result
+/// is definitive; `true` means no counterexample was found.
+bool random_simulation_equal(const xag& a, const xag& b,
+                             uint32_t rounds = 64, uint64_t seed = 1);
+
+} // namespace mcx

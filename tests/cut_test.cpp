@@ -1,0 +1,215 @@
+#include "cut/cut_enumeration.h"
+#include "xag/simulate.h"
+#include "xag/xag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace mcx {
+namespace {
+
+xag full_adder()
+{
+    xag net;
+    const auto a = net.create_pi();
+    const auto b = net.create_pi();
+    const auto cin = net.create_pi();
+    const auto axb = net.create_xor(a, b);
+    const auto sum = net.create_xor(axb, cin);
+    const auto cout =
+        net.create_or(net.create_and(a, b), net.create_and(axb, cin));
+    net.create_po(sum);
+    net.create_po(cout);
+    return net;
+}
+
+TEST(cut_enumeration, parameter_validation)
+{
+    xag net;
+    EXPECT_THROW(enumerate_cuts(net, {.cut_size = 1}), std::invalid_argument);
+    EXPECT_THROW(enumerate_cuts(net, {.cut_size = 9}), std::invalid_argument);
+    EXPECT_THROW(enumerate_cuts(net, {.cut_size = 4, .cut_limit = 0}),
+                 std::invalid_argument);
+}
+
+TEST(cut_enumeration, pi_has_trivial_cut_only)
+{
+    xag net;
+    const auto a = net.create_pi();
+    net.create_po(a);
+    const auto sets = enumerate_cuts(net);
+    ASSERT_EQ(sets[a.node()].size(), 1u);
+    EXPECT_EQ(sets[a.node()][0].num_leaves, 1u);
+    EXPECT_EQ(sets[a.node()][0].leaves[0], a.node());
+    EXPECT_EQ(sets[a.node()][0].function, 0x2u);
+}
+
+TEST(cut_enumeration, full_adder_cout_cut)
+{
+    // Paper Fig. 1(b): the cout cut with leaves {a, b, cin} implements the
+    // majority function 0xe8.
+    const auto net = full_adder();
+    const auto sets = enumerate_cuts(net);
+    const auto cout_node = net.po_at(1).node();
+    const auto& cuts = sets[cout_node];
+    const std::array<uint32_t, 3> pis{net.pi_at(0), net.pi_at(1),
+                                      net.pi_at(2)};
+    const auto it = std::find_if(cuts.begin(), cuts.end(), [&](const cut& c) {
+        return c.num_leaves == 3 &&
+               std::equal(pis.begin(), pis.end(), c.leaves.begin());
+    });
+    ASSERT_NE(it, cuts.end());
+    uint64_t func = it->function;
+    if (net.po_at(1).complemented())
+        func = ~func & tt_mask(3);
+    EXPECT_EQ(func, 0xe8u);
+}
+
+TEST(cut_enumeration, every_gate_ends_with_trivial_cut)
+{
+    const auto net = full_adder();
+    const auto sets = enumerate_cuts(net);
+    for (const auto n : net.topological_order()) {
+        if (!net.is_gate(n))
+            continue;
+        ASSERT_FALSE(sets[n].empty());
+        const auto& last = sets[n].back();
+        EXPECT_EQ(last.num_leaves, 1u);
+        EXPECT_EQ(last.leaves[0], n);
+    }
+}
+
+TEST(cut_enumeration, respects_cut_limit)
+{
+    std::mt19937_64 rng{3};
+    xag net;
+    std::vector<signal> pool;
+    for (int i = 0; i < 8; ++i)
+        pool.push_back(net.create_pi());
+    for (int i = 0; i < 120; ++i) {
+        const auto a = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+        const auto b = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+        pool.push_back((rng() & 1) ? net.create_and(a, b)
+                                   : net.create_xor(a, b));
+    }
+    for (int i = 0; i < 4; ++i)
+        net.create_po(pool[pool.size() - 1 - i]);
+
+    for (const uint32_t limit : {1u, 4u, 12u}) {
+        const auto sets =
+            enumerate_cuts(net, {.cut_size = 6, .cut_limit = limit});
+        for (const auto n : net.topological_order()) {
+            if (!net.is_gate(n))
+                continue;
+            EXPECT_LE(sets[n].size(), limit + 1); // + trivial cut
+        }
+    }
+}
+
+TEST(cut_enumeration, leaves_sorted_and_within_size)
+{
+    std::mt19937_64 rng{5};
+    xag net;
+    std::vector<signal> pool;
+    for (int i = 0; i < 10; ++i)
+        pool.push_back(net.create_pi());
+    for (int i = 0; i < 200; ++i) {
+        const auto a = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+        const auto b = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+        pool.push_back((rng() & 1) ? net.create_and(a, b)
+                                   : net.create_xor(a, b));
+    }
+    for (int i = 0; i < 6; ++i)
+        net.create_po(pool[pool.size() - 1 - i]);
+
+    for (const uint32_t k : {2u, 4u, 6u}) {
+        const auto sets = enumerate_cuts(net, {.cut_size = k});
+        for (const auto n : net.topological_order()) {
+            for (const auto& c : sets[n]) {
+                EXPECT_GE(c.num_leaves, 1u);
+                EXPECT_LE(c.num_leaves, k == 0 ? 1u : std::max(k, 1u));
+                EXPECT_TRUE(std::is_sorted(c.leaves.begin(),
+                                           c.leaves.begin() + c.num_leaves));
+            }
+        }
+    }
+}
+
+TEST(cut_enumeration, no_dominated_cuts)
+{
+    std::mt19937_64 rng{6};
+    xag net;
+    std::vector<signal> pool;
+    for (int i = 0; i < 8; ++i)
+        pool.push_back(net.create_pi());
+    for (int i = 0; i < 100; ++i) {
+        const auto a = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+        const auto b = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+        pool.push_back((rng() & 1) ? net.create_and(a, b)
+                                   : net.create_xor(a, b));
+    }
+    net.create_po(pool.back());
+
+    const auto sets = enumerate_cuts(net, {.cut_size = 4, .cut_limit = 25});
+    for (const auto n : net.topological_order()) {
+        const auto& cuts = sets[n];
+        // The trivial cut is excluded: it legitimately dominates any cut
+        // containing n itself (there are none) and nothing else.
+        for (size_t i = 0; i + 1 < cuts.size(); ++i)
+            for (size_t j = 0; j + 1 < cuts.size(); ++j)
+                if (i != j)
+                    EXPECT_FALSE(cuts[i].dominates(cuts[j]) &&
+                                 cuts[i].num_leaves < cuts[j].num_leaves)
+                        << "node " << n << " cut " << j
+                        << " strictly dominated by cut " << i;
+    }
+}
+
+// Property: every enumerated cut function must equal the simulated cone
+// function of the root over the cut leaves.
+class cut_function_property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(cut_function_property, functions_match_simulation)
+{
+    std::mt19937_64 rng{GetParam()};
+    xag net;
+    std::vector<signal> pool;
+    for (int i = 0; i < 7; ++i)
+        pool.push_back(net.create_pi());
+    for (int i = 0; i < 80; ++i) {
+        const auto a = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+        const auto b = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+        pool.push_back((rng() & 1) ? net.create_and(a, b)
+                                   : net.create_xor(a, b));
+    }
+    for (int i = 0; i < 5; ++i)
+        net.create_po(pool[pool.size() - 1 - i]);
+
+    const auto sets = enumerate_cuts(net, {.cut_size = 6, .cut_limit = 8});
+    for (const auto n : net.topological_order()) {
+        if (!net.is_gate(n))
+            continue;
+        for (const auto& c : sets[n]) {
+            const auto expected = cone_function(net, n, c.leaf_span());
+            ASSERT_EQ(c.function_tt(), expected)
+                << "node " << n << " cut over " << c.num_leaves << " leaves";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, cut_function_property,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(cut_enumeration, stats_populated)
+{
+    const auto net = full_adder();
+    cut_enumeration_stats stats;
+    enumerate_cuts(net, {}, &stats);
+    EXPECT_GT(stats.total_cuts, 0u);
+    EXPECT_GT(stats.merged_pairs, 0u);
+}
+
+} // namespace
+} // namespace mcx

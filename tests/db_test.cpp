@@ -1,0 +1,102 @@
+#include "db/mc_database.h"
+#include "db/size_database.h"
+#include "spectral/classification.h"
+#include "xag/simulate.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+namespace mcx {
+namespace {
+
+TEST(serialization, single_output_roundtrip)
+{
+    xag net;
+    const auto a = net.create_pi();
+    const auto b = net.create_pi();
+    const auto c = net.create_pi();
+    net.create_po(!net.create_xor(net.create_and(a, !b), c));
+
+    const auto text = serialize_single_output(net);
+    const auto back = deserialize_single_output(text);
+    EXPECT_EQ(back.num_pis(), 3u);
+    EXPECT_EQ(simulate(back), simulate(net));
+}
+
+TEST(serialization, rejects_malformed)
+{
+    EXPECT_THROW(deserialize_single_output(""), std::invalid_argument);
+    EXPECT_THROW(deserialize_single_output("2 1 q 2 4 2"),
+                 std::invalid_argument);
+    EXPECT_THROW(deserialize_single_output("2 1 a 2 99 2"),
+                 std::invalid_argument);
+}
+
+TEST(mc_database_suite, lazily_builds_optimal_entries)
+{
+    mc_database db;
+    // Majority representative: must cost exactly one AND (paper Ex. 3.1).
+    const auto maj = truth_table{3, 0xe8};
+    const auto cls = classify_affine(maj);
+    ASSERT_TRUE(cls.success);
+    const auto& e = db.lookup_or_build(cls.representative);
+    EXPECT_EQ(e.num_ands, 1u);
+    EXPECT_TRUE(e.optimal);
+    EXPECT_EQ(simulate(e.circuit)[0], cls.representative);
+    EXPECT_EQ(db.size(), 1u);
+    // Second lookup is a cache hit.
+    db.lookup_or_build(cls.representative);
+    EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(mc_database_suite, save_and_load_roundtrip)
+{
+    mc_database db;
+    std::mt19937_64 rng{51};
+    std::vector<truth_table> reps;
+    for (int i = 0; i < 5; ++i) {
+        truth_table f{4};
+        f.words()[0] = rng() & tt_mask(4);
+        const auto cls = classify_affine(f, {.iteration_limit = 2'000'000});
+        if (!cls.success)
+            continue;
+        reps.push_back(cls.representative);
+        db.lookup_or_build(cls.representative);
+    }
+    std::stringstream buffer;
+    db.save(buffer);
+    auto loaded = mc_database::load(buffer);
+    EXPECT_EQ(loaded.size(), db.size());
+    for (const auto& r : reps) {
+        const auto& e = loaded.lookup_or_build(r);
+        EXPECT_EQ(simulate(e.circuit)[0], r);
+    }
+}
+
+TEST(mc_database_suite, heuristic_fallback_without_exact)
+{
+    mc_database db{{.use_exact = false}};
+    const auto cls = classify_affine(truth_table{3, 0xe8});
+    ASSERT_TRUE(cls.success);
+    const auto& e = db.lookup_or_build(cls.representative);
+    EXPECT_FALSE(e.optimal);
+    EXPECT_EQ(simulate(e.circuit)[0], cls.representative);
+    EXPECT_EQ(db.exact_entries(), 0u);
+    EXPECT_EQ(db.heuristic_entries(), 1u);
+}
+
+TEST(size_database_suite, builds_minimal_entries)
+{
+    size_database db;
+    // The AND/OR NPN class costs a single gate.
+    const truth_table and2{2, 0x8};
+    const auto& e = db.lookup_or_build(and2);
+    EXPECT_EQ(e.num_gates, 1u);
+    EXPECT_TRUE(e.optimal);
+    EXPECT_EQ(simulate(e.circuit)[0], and2);
+}
+
+} // namespace
+} // namespace mcx

@@ -1,0 +1,438 @@
+#include "gen/aes.h"
+#include "gen/arithmetic.h"
+#include "gen/control.h"
+#include "gen/des.h"
+#include "gen/hashes.h"
+#include "gen/word_ops.h"
+#include "xag/simulate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+
+namespace mcx {
+namespace {
+
+/// Simulate a network on one assignment given as value words per PI group.
+std::vector<bool> run(const xag& net, const std::vector<bool>& inputs)
+{
+    return simulate_pattern(net, inputs);
+}
+
+std::vector<bool> bits_of(uint64_t value, uint32_t width)
+{
+    std::vector<bool> b(width);
+    for (uint32_t i = 0; i < width; ++i)
+        b[i] = (value >> i) & 1;
+    return b;
+}
+
+uint64_t value_of(const std::vector<bool>& bits, uint32_t offset,
+                  uint32_t width)
+{
+    uint64_t v = 0;
+    for (uint32_t i = 0; i < width; ++i)
+        if (bits[offset + i])
+            v |= uint64_t{1} << i;
+    return v;
+}
+
+TEST(gen_arithmetic, adder_matches_integers)
+{
+    const auto net = gen_adder(8);
+    std::mt19937_64 rng{61};
+    for (int rep = 0; rep < 50; ++rep) {
+        const uint64_t a = rng() & 0xff, b = rng() & 0xff;
+        auto in = bits_of(a, 8);
+        const auto bb = bits_of(b, 8);
+        in.insert(in.end(), bb.begin(), bb.end());
+        const auto out = run(net, in);
+        EXPECT_EQ(value_of(out, 0, 9), a + b);
+    }
+}
+
+TEST(gen_arithmetic, barrel_shifter_rotates)
+{
+    const auto net = gen_barrel_shifter(16);
+    std::mt19937_64 rng{62};
+    for (int rep = 0; rep < 30; ++rep) {
+        const uint64_t data = rng() & 0xffff;
+        const uint32_t amount = rng() % 16;
+        auto in = bits_of(data, 16);
+        const auto ab = bits_of(amount, 4);
+        in.insert(in.end(), ab.begin(), ab.end());
+        const auto out = run(net, in);
+        const uint64_t expected =
+            ((data << amount) | (data >> (16 - amount))) & 0xffff;
+        EXPECT_EQ(value_of(out, 0, 16), amount ? expected : data);
+    }
+}
+
+TEST(gen_arithmetic, divisor_matches_integers)
+{
+    const auto net = gen_divisor(8);
+    std::mt19937_64 rng{63};
+    for (int rep = 0; rep < 60; ++rep) {
+        const uint64_t a = rng() & 0xff;
+        const uint64_t b = 1 + (rng() % 255);
+        auto in = bits_of(a, 8);
+        const auto bb = bits_of(b, 8);
+        in.insert(in.end(), bb.begin(), bb.end());
+        const auto out = run(net, in);
+        EXPECT_EQ(value_of(out, 0, 8), a / b) << a << "/" << b;
+        EXPECT_EQ(value_of(out, 8, 8), a % b) << a << "%" << b;
+    }
+}
+
+TEST(gen_arithmetic, multiplier_and_square)
+{
+    const auto mul = gen_multiplier(7);
+    const auto squ = gen_square(7);
+    std::mt19937_64 rng{64};
+    for (int rep = 0; rep < 40; ++rep) {
+        const uint64_t a = rng() & 0x7f, b = rng() & 0x7f;
+        auto in = bits_of(a, 7);
+        const auto bb = bits_of(b, 7);
+        in.insert(in.end(), bb.begin(), bb.end());
+        EXPECT_EQ(value_of(run(mul, in), 0, 14), a * b);
+        EXPECT_EQ(value_of(run(squ, bits_of(a, 7)), 0, 14), a * a);
+    }
+}
+
+TEST(gen_arithmetic, sqrt_matches_integers)
+{
+    const auto net = gen_sqrt(12);
+    std::mt19937_64 rng{65};
+    for (int rep = 0; rep < 50; ++rep) {
+        const uint64_t x = rng() & 0xfff;
+        const auto out = run(net, bits_of(x, 12));
+        EXPECT_EQ(value_of(out, 0, 6),
+                  static_cast<uint64_t>(std::sqrt(static_cast<double>(x))));
+    }
+}
+
+TEST(gen_arithmetic, max_of_four)
+{
+    const auto net = gen_max(8, 4);
+    std::mt19937_64 rng{66};
+    for (int rep = 0; rep < 30; ++rep) {
+        std::vector<bool> in;
+        uint64_t expected = 0;
+        for (int w = 0; w < 4; ++w) {
+            const uint64_t v = rng() & 0xff;
+            expected = std::max(expected, v);
+            const auto vb = bits_of(v, 8);
+            in.insert(in.end(), vb.begin(), vb.end());
+        }
+        EXPECT_EQ(value_of(run(net, in), 0, 8), expected);
+    }
+}
+
+TEST(gen_arithmetic, comparators_match)
+{
+    const auto ltu = gen_comparator_lt_unsigned(8);
+    const auto leu = gen_comparator_leq_unsigned(8);
+    const auto lts = gen_comparator_lt_signed(8);
+    const auto les = gen_comparator_leq_signed(8);
+    std::mt19937_64 rng{67};
+    for (int rep = 0; rep < 60; ++rep) {
+        const uint64_t a = rng() & 0xff, b = rng() & 0xff;
+        auto in = bits_of(a, 8);
+        const auto bb = bits_of(b, 8);
+        in.insert(in.end(), bb.begin(), bb.end());
+        const auto sa = static_cast<int8_t>(a), sb = static_cast<int8_t>(b);
+        EXPECT_EQ(run(ltu, in)[0], a < b);
+        EXPECT_EQ(run(leu, in)[0], a <= b);
+        EXPECT_EQ(run(lts, in)[0], sa < sb);
+        EXPECT_EQ(run(les, in)[0], sa <= sb);
+    }
+}
+
+TEST(gen_arithmetic, log2_integer_part)
+{
+    const auto net = gen_log2(16);
+    std::mt19937_64 rng{68};
+    for (int rep = 0; rep < 40; ++rep) {
+        const uint64_t x = 1 + (rng() & 0xfffe);
+        const auto out = run(net, bits_of(x, 16));
+        const uint64_t ilog =
+            static_cast<uint64_t>(std::floor(std::log2(static_cast<double>(x))));
+        EXPECT_EQ(value_of(out, 0, 4), ilog) << "x=" << x;
+    }
+}
+
+TEST(gen_arithmetic, sine_approximates)
+{
+    const uint32_t bits = 12;
+    const auto net = gen_sine(bits);
+    for (const double t : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        const auto angle =
+            static_cast<uint64_t>(t * std::pow(2.0, bits)); // fraction of pi/2
+        const auto out = run(net, bits_of(angle, bits));
+        const double measured =
+            static_cast<double>(value_of(out, 0, bits)) /
+            std::pow(2.0, bits - 2);
+        const double expected = std::sin(t * 1.5707963267948966);
+        EXPECT_NEAR(measured, expected, 0.02) << "t=" << t;
+    }
+}
+
+TEST(gen_arithmetic, int2float_smoke)
+{
+    const auto net = gen_int2float(11, 4, 3);
+    // 0 -> all-zero; powers of two -> exponent ramp, zero mantissa.
+    EXPECT_EQ(value_of(run(net, bits_of(0, 11)), 0, 8), 0u);
+    for (uint32_t p = 0; p < 11; ++p) {
+        const auto out = run(net, bits_of(uint64_t{1} << p, 11));
+        EXPECT_TRUE(out[0]); // nonzero flag
+        EXPECT_EQ(value_of(out, 1, 4), p + 1) << "p=" << p;
+        EXPECT_EQ(value_of(out, 5, 3), 0u) << "p=" << p;
+    }
+    // 0b110 -> exponent of 4, mantissa 100.
+    const auto out = run(net, bits_of(0b110, 11));
+    EXPECT_EQ(value_of(out, 1, 4), 3u);
+    EXPECT_EQ(value_of(out, 5, 3), 0b100u);
+}
+
+TEST(gen_control, decoder_one_hot)
+{
+    const auto net = gen_decoder(4);
+    for (uint64_t a = 0; a < 16; ++a) {
+        const auto out = run(net, bits_of(a, 4));
+        for (uint64_t i = 0; i < 16; ++i)
+            EXPECT_EQ(out[i], i == a);
+    }
+}
+
+TEST(gen_control, priority_encoder_highest_wins)
+{
+    const auto net = gen_priority_encoder(8);
+    std::mt19937_64 rng{69};
+    for (int rep = 0; rep < 40; ++rep) {
+        const uint64_t req = rng() & 0xff;
+        const auto out = run(net, bits_of(req, 8));
+        if (req == 0) {
+            EXPECT_FALSE(out[3]);
+            continue;
+        }
+        EXPECT_TRUE(out[3]);
+        const uint64_t highest = 63 - __builtin_clzll(req);
+        EXPECT_EQ(value_of(out, 0, 3), highest);
+    }
+}
+
+TEST(gen_control, round_robin_arbiter_grants_fairly)
+{
+    const auto net = gen_round_robin_arbiter(6);
+    std::mt19937_64 rng{70};
+    for (int rep = 0; rep < 50; ++rep) {
+        const uint64_t req = rng() & 0x3f;
+        const uint32_t seat = rng() % 6;
+        auto in = bits_of(req, 6);
+        const auto pb = bits_of(uint64_t{1} << seat, 6);
+        in.insert(in.end(), pb.begin(), pb.end());
+        const auto out = run(net, in);
+        if (req == 0) {
+            for (int i = 0; i < 7; ++i)
+                EXPECT_FALSE(out[i]);
+            continue;
+        }
+        // Expected: the first request at or after `seat`, cyclically.
+        uint32_t winner = seat;
+        while (!((req >> winner) & 1))
+            winner = (winner + 1) % 6;
+        for (uint32_t i = 0; i < 6; ++i)
+            EXPECT_EQ(out[i], i == winner) << "req=" << req << " seat=" << seat;
+        EXPECT_TRUE(out[6]);
+    }
+}
+
+TEST(gen_control, voter_is_majority)
+{
+    const auto net = gen_voter(15);
+    std::mt19937_64 rng{71};
+    for (int rep = 0; rep < 40; ++rep) {
+        const uint64_t v = rng() & 0x7fff;
+        const auto out = run(net, bits_of(v, 15));
+        EXPECT_EQ(out[0], __builtin_popcountll(v) > 7);
+    }
+}
+
+TEST(gen_control, structured_generators_build)
+{
+    const auto alu = gen_alu_control();
+    EXPECT_EQ(alu.num_pos(), 26u);
+    EXPECT_GT(alu.num_gates(), 0u);
+
+    const auto router = gen_xy_router(15);
+    EXPECT_EQ(router.num_pis(), 60u);
+    EXPECT_GE(router.num_pos(), 30u);
+
+    const auto rnd = gen_random_control(147, 900, 142, 1);
+    EXPECT_EQ(rnd.num_pis(), 147u);
+    EXPECT_EQ(rnd.num_pos(), 142u);
+    rnd.check_integrity();
+}
+
+TEST(gen_aes, sbox_matches_reference_exhaustively)
+{
+    // Reference spot values from FIPS-197.
+    EXPECT_EQ(aes_sbox_reference(0x00), 0x63);
+    EXPECT_EQ(aes_sbox_reference(0x01), 0x7c);
+    EXPECT_EQ(aes_sbox_reference(0x53), 0xed);
+
+    xag net;
+    std::array<signal, 8> in;
+    for (auto& s : in)
+        s = net.create_pi();
+    for (const auto s : aes_sbox_circuit(net, in))
+        net.create_po(s);
+    const auto tts = simulate(net);
+    for (uint32_t x = 0; x < 256; ++x) {
+        uint8_t y = 0;
+        for (int b = 0; b < 8; ++b)
+            y |= static_cast<uint8_t>(tts[b].get_bit(x)) << b;
+        ASSERT_EQ(y, aes_sbox_reference(static_cast<uint8_t>(x)))
+            << "x=" << x;
+    }
+    // ~36 AND gates per S-box (tower-field construction).
+    EXPECT_LE(net.num_ands(), 40u);
+}
+
+TEST(gen_aes, fips197_vector)
+{
+    const std::array<uint8_t, 16> key{0x00, 0x01, 0x02, 0x03, 0x04, 0x05,
+                                      0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b,
+                                      0x0c, 0x0d, 0x0e, 0x0f};
+    const std::array<uint8_t, 16> pt{0x00, 0x11, 0x22, 0x33, 0x44, 0x55,
+                                     0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb,
+                                     0xcc, 0xdd, 0xee, 0xff};
+    const std::array<uint8_t, 16> expected{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                           0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                           0x70, 0xb4, 0xc5, 0x5a};
+    EXPECT_EQ(aes128_encrypt_reference(pt, key), expected);
+
+    const auto net = gen_aes128();
+    std::vector<bool> in;
+    for (const auto byte : pt)
+        for (int b = 0; b < 8; ++b)
+            in.push_back((byte >> b) & 1);
+    for (const auto byte : key)
+        for (int b = 0; b < 8; ++b)
+            in.push_back((byte >> b) & 1);
+    const auto out = run(net, in);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(value_of(out, 8 * i, 8), expected[i]) << "byte " << i;
+}
+
+TEST(gen_des, reference_matches_canonical_vector)
+{
+    // The classic worked example (appears in many DES tutorials).
+    EXPECT_EQ(des_encrypt_reference(0x0123456789ABCDEFull,
+                                    0x133457799BBCDFF1ull),
+              0x85E813540F0AB405ull);
+}
+
+TEST(gen_des, circuit_matches_reference)
+{
+    const auto net = gen_des();
+    std::mt19937_64 rng{72};
+    for (int rep = 0; rep < 3; ++rep) {
+        const uint64_t pt = rng();
+        const uint64_t key = rng();
+        std::vector<bool> in;
+        // PI order: plaintext bits 1..64 (MSB first), then key bits.
+        for (int i = 0; i < 64; ++i)
+            in.push_back((pt >> (63 - i)) & 1);
+        for (int i = 0; i < 64; ++i)
+            in.push_back((key >> (63 - i)) & 1);
+        const auto out = run(net, in);
+        const auto expected = des_encrypt_reference(pt, key);
+        uint64_t got = 0;
+        for (int i = 0; i < 64; ++i)
+            got |= static_cast<uint64_t>(out[i]) << (63 - i);
+        ASSERT_EQ(got, expected);
+    }
+}
+
+namespace {
+
+std::string hex_digest(const std::vector<bool>& out)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string s;
+    for (size_t byte = 0; byte * 8 < out.size(); ++byte) {
+        uint32_t v = 0;
+        for (int b = 0; b < 8; ++b)
+            v |= static_cast<uint32_t>(out[8 * byte + b]) << b;
+        s.push_back(digits[v >> 4]);
+        s.push_back(digits[v & 0xf]);
+    }
+    return s;
+}
+
+std::vector<bool> block_bits(const std::array<uint8_t, 64>& block)
+{
+    std::vector<bool> bits;
+    for (const auto byte : block)
+        for (int b = 0; b < 8; ++b)
+            bits.push_back((byte >> b) & 1);
+    return bits;
+}
+
+} // namespace
+
+TEST(gen_hashes, md5_known_digests)
+{
+    const auto net = gen_md5();
+    const auto empty = pad_single_block({}, false);
+    EXPECT_EQ(hex_digest(run(net, block_bits(empty))),
+              "d41d8cd98f00b204e9800998ecf8427e");
+    const auto abc = pad_single_block({'a', 'b', 'c'}, false);
+    EXPECT_EQ(hex_digest(run(net, block_bits(abc))),
+              "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(gen_hashes, sha1_known_digests)
+{
+    const auto net = gen_sha1();
+    const auto empty = pad_single_block({}, true);
+    EXPECT_EQ(hex_digest(run(net, block_bits(empty))),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    const auto abc = pad_single_block({'a', 'b', 'c'}, true);
+    EXPECT_EQ(hex_digest(run(net, block_bits(abc))),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(gen_hashes, sha256_known_digests)
+{
+    const auto net = gen_sha256();
+    const auto empty = pad_single_block({}, true);
+    EXPECT_EQ(
+        hex_digest(run(net, block_bits(empty))),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    const auto abc = pad_single_block({'a', 'b', 'c'}, true);
+    EXPECT_EQ(
+        hex_digest(run(net, block_bits(abc))),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(gen_sizes, table2_interface_shapes)
+{
+    // Paper Table 2 interface columns.
+    EXPECT_EQ(gen_aes128().num_pis(), 256u);
+    EXPECT_EQ(gen_aes128().num_pos(), 128u);
+    EXPECT_EQ(gen_des().num_pis(), 128u);
+    EXPECT_EQ(gen_des().num_pos(), 64u);
+    EXPECT_EQ(gen_des_expanded().num_pis(), 832u);
+    EXPECT_EQ(gen_md5().num_pis(), 512u);
+    EXPECT_EQ(gen_md5().num_pos(), 128u);
+    EXPECT_EQ(gen_sha1().num_pos(), 160u);
+    EXPECT_EQ(gen_sha256().num_pos(), 256u);
+    EXPECT_EQ(gen_comparator_lt_signed(32).num_pis(), 64u);
+}
+
+} // namespace
+} // namespace mcx

@@ -1,0 +1,106 @@
+#include "gen/lightweight.h"
+#include "xag/simulate.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mcx {
+namespace {
+
+TEST(simon_generator, circuit_matches_reference)
+{
+    constexpr uint32_t word_bits = 16, rounds = 32;
+    const auto net = gen_simon(word_bits, rounds);
+    EXPECT_EQ(net.num_pis(), 2 * word_bits + rounds * word_bits);
+    EXPECT_EQ(net.num_pos(), 2 * word_bits);
+    // One AND per bit of f per round.
+    EXPECT_EQ(net.num_ands(), rounds * word_bits);
+
+    std::mt19937_64 rng{91};
+    for (int rep = 0; rep < 4; ++rep) {
+        const uint64_t x = rng() & 0xffff, y = rng() & 0xffff;
+        std::vector<uint64_t> keys(rounds);
+        for (auto& k : keys)
+            k = rng() & 0xffff;
+
+        std::vector<bool> in;
+        for (uint32_t i = 0; i < word_bits; ++i)
+            in.push_back((x >> i) & 1);
+        for (uint32_t i = 0; i < word_bits; ++i)
+            in.push_back((y >> i) & 1);
+        for (const auto k : keys)
+            for (uint32_t i = 0; i < word_bits; ++i)
+                in.push_back((k >> i) & 1);
+        const auto out = simulate_pattern(net, in);
+
+        const auto [ex, ey] =
+            simon_encrypt_reference(word_bits, x, y, keys);
+        uint64_t gx = 0, gy = 0;
+        for (uint32_t i = 0; i < word_bits; ++i) {
+            gx |= static_cast<uint64_t>(out[i]) << i;
+            gy |= static_cast<uint64_t>(out[word_bits + i]) << i;
+        }
+        ASSERT_EQ(gx, ex);
+        ASSERT_EQ(gy, ey);
+    }
+}
+
+TEST(simon_generator, validates_width)
+{
+    EXPECT_THROW(gen_simon(8), std::invalid_argument);
+    EXPECT_THROW(gen_simon(65), std::invalid_argument);
+}
+
+TEST(keccak_generator, circuit_matches_reference)
+{
+    constexpr uint32_t lane_bits = 8; // Keccak-f[200]
+    const auto net = gen_keccak_f(lane_bits);
+    EXPECT_EQ(net.num_pis(), 200u);
+    EXPECT_EQ(net.num_pos(), 200u);
+    // chi: 25 lanes x lane_bits ANDs x 18 rounds.
+    EXPECT_EQ(net.num_ands(), 18u * 25 * lane_bits);
+
+    std::mt19937_64 rng{92};
+    for (int rep = 0; rep < 3; ++rep) {
+        std::vector<uint64_t> state(25);
+        for (auto& lane : state)
+            lane = rng() & 0xff;
+
+        std::vector<bool> in;
+        for (const auto lane : state)
+            for (uint32_t i = 0; i < lane_bits; ++i)
+                in.push_back((lane >> i) & 1);
+        const auto out = simulate_pattern(net, in);
+
+        const auto expected = keccak_f_reference(lane_bits, state);
+        for (int lane = 0; lane < 25; ++lane) {
+            uint64_t got = 0;
+            for (uint32_t i = 0; i < lane_bits; ++i)
+                got |= static_cast<uint64_t>(out[lane * lane_bits + i]) << i;
+            ASSERT_EQ(got, expected[lane]) << "lane " << lane;
+        }
+    }
+}
+
+TEST(keccak_generator, permutation_is_bijective_on_samples)
+{
+    // Distinct inputs must map to distinct outputs.
+    std::mt19937_64 rng{93};
+    std::vector<uint64_t> s1(25), s2(25);
+    for (int i = 0; i < 25; ++i) {
+        s1[i] = rng() & 0xff;
+        s2[i] = rng() & 0xff;
+    }
+    s2[0] ^= 1;
+    EXPECT_NE(keccak_f_reference(8, s1), keccak_f_reference(8, s2));
+}
+
+TEST(keccak_generator, validates_lane_width)
+{
+    EXPECT_THROW(gen_keccak_f(7), std::invalid_argument);
+    EXPECT_THROW(gen_keccak_f(12), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mcx

@@ -1,0 +1,279 @@
+#include "sat/cnf.h"
+#include "sat/equivalence.h"
+#include "sat/solver.h"
+#include "xag/simulate.h"
+#include "xag/xag.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mcx::sat {
+namespace {
+
+literal pos(uint32_t v) { return literal{v, false}; }
+literal neg(uint32_t v) { return literal{v, true}; }
+
+TEST(sat_solver, trivial_sat)
+{
+    solver s;
+    const auto a = s.add_variable();
+    const auto b = s.add_variable();
+    s.add_clause({pos(a), pos(b)});
+    s.add_clause({neg(a)});
+    EXPECT_EQ(s.solve(), solve_result::satisfiable);
+    EXPECT_FALSE(s.model_value(a));
+    EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(sat_solver, trivial_unsat)
+{
+    solver s;
+    const auto a = s.add_variable();
+    s.add_clause({pos(a)});
+    s.add_clause({neg(a)});
+    EXPECT_EQ(s.solve(), solve_result::unsatisfiable);
+}
+
+TEST(sat_solver, empty_clause_is_unsat)
+{
+    solver s;
+    (void)s.add_variable();
+    EXPECT_FALSE(s.add_clause(std::initializer_list<literal>{}));
+    EXPECT_EQ(s.solve(), solve_result::unsatisfiable);
+}
+
+TEST(sat_solver, tautology_is_ignored)
+{
+    solver s;
+    const auto a = s.add_variable();
+    EXPECT_TRUE(s.add_clause({pos(a), neg(a)}));
+    EXPECT_EQ(s.solve(), solve_result::satisfiable);
+}
+
+TEST(sat_solver, unit_propagation_chain)
+{
+    solver s;
+    std::vector<uint32_t> v;
+    for (int i = 0; i < 10; ++i)
+        v.push_back(s.add_variable());
+    for (int i = 0; i + 1 < 10; ++i)
+        s.add_clause({neg(v[i]), pos(v[i + 1])}); // v[i] -> v[i+1]
+    s.add_clause({pos(v[0])});
+    EXPECT_EQ(s.solve(), solve_result::satisfiable);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(s.model_value(v[i]));
+}
+
+TEST(sat_solver, pigeonhole_unsat)
+{
+    // 5 pigeons into 4 holes: classic hard UNSAT family (small instance).
+    constexpr int pigeons = 5, holes = 4;
+    solver s;
+    uint32_t var[pigeons][holes];
+    for (auto& row : var)
+        for (auto& v : row)
+            v = s.add_variable();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<literal> some;
+        for (int h = 0; h < holes; ++h)
+            some.push_back(pos(var[p][h]));
+        s.add_clause(some);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.add_clause({neg(var[p1][h]), neg(var[p2][h])});
+    EXPECT_EQ(s.solve(), solve_result::unsatisfiable);
+}
+
+TEST(sat_solver, conflict_budget_returns_undecided)
+{
+    // 8 pigeons into 7 holes is hard enough to need > 2 conflicts.
+    constexpr int pigeons = 8, holes = 7;
+    solver s;
+    std::vector<std::vector<uint32_t>> var(pigeons,
+                                           std::vector<uint32_t>(holes));
+    for (auto& row : var)
+        for (auto& v : row)
+            v = s.add_variable();
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<literal> some;
+        for (int h = 0; h < holes; ++h)
+            some.push_back(pos(var[p][h]));
+        s.add_clause(some);
+    }
+    for (int h = 0; h < holes; ++h)
+        for (int p1 = 0; p1 < pigeons; ++p1)
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                s.add_clause({neg(var[p1][h]), neg(var[p2][h])});
+    EXPECT_EQ(s.solve(2), solve_result::undecided);
+}
+
+// Random 3-SAT cross-checked against brute force.
+class random_3sat : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(random_3sat, agrees_with_bruteforce)
+{
+    std::mt19937_64 rng{GetParam()};
+    constexpr uint32_t num_vars = 12;
+    const uint32_t num_clauses = 12 + rng() % 45;
+
+    std::vector<std::vector<literal>> clauses;
+    for (uint32_t c = 0; c < num_clauses; ++c) {
+        std::vector<literal> cl;
+        for (int k = 0; k < 3; ++k)
+            cl.push_back(
+                literal{static_cast<uint32_t>(rng() % num_vars), (rng() & 1) != 0});
+        clauses.push_back(cl);
+    }
+
+    bool expected = false;
+    for (uint32_t m = 0; m < (1u << num_vars) && !expected; ++m) {
+        bool all = true;
+        for (const auto& cl : clauses) {
+            bool any = false;
+            for (const auto l : cl)
+                any |= (((m >> l.var()) & 1) != 0) != l.negative();
+            if (!any) {
+                all = false;
+                break;
+            }
+        }
+        expected = all;
+    }
+
+    solver s;
+    for (uint32_t v = 0; v < num_vars; ++v)
+        (void)s.add_variable();
+    for (const auto& cl : clauses)
+        s.add_clause(cl);
+    const auto got = s.solve();
+    EXPECT_EQ(got == solve_result::satisfiable, expected);
+
+    if (got == solve_result::satisfiable) {
+        // The model must actually satisfy every clause.
+        for (const auto& cl : clauses) {
+            bool any = false;
+            for (const auto l : cl)
+                any |= s.model_value(l.var()) != l.negative();
+            EXPECT_TRUE(any);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, random_3sat,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(cnf_encoding, xag_evaluation_consistency)
+{
+    // Encode a small XAG, force its inputs, and check the PO literal agrees
+    // with simulation for every input pattern.
+    xag net;
+    const auto a = net.create_pi();
+    const auto b = net.create_pi();
+    const auto c = net.create_pi();
+    net.create_po(net.create_xor(net.create_and(a, !b), c));
+    const auto tt = simulate(net)[0];
+
+    for (uint32_t m = 0; m < 8; ++m) {
+        solver s;
+        const auto enc = encode(s, net);
+        for (uint32_t i = 0; i < 3; ++i)
+            s.add_clause({((m >> i) & 1) ? enc.pi_literals[i]
+                                         : ~enc.pi_literals[i]});
+        // Assert PO equals the simulated value; must stay satisfiable.
+        s.add_clause({tt.get_bit(m) ? enc.po_literals[0]
+                                    : ~enc.po_literals[0]});
+        EXPECT_EQ(s.solve(), solve_result::satisfiable) << "pattern " << m;
+
+        solver s2;
+        const auto enc2 = encode(s2, net);
+        for (uint32_t i = 0; i < 3; ++i)
+            s2.add_clause({((m >> i) & 1) ? enc2.pi_literals[i]
+                                          : ~enc2.pi_literals[i]});
+        s2.add_clause({tt.get_bit(m) ? ~enc2.po_literals[0]
+                                     : enc2.po_literals[0]});
+        EXPECT_EQ(s2.solve(), solve_result::unsatisfiable) << "pattern " << m;
+    }
+}
+
+TEST(equivalence_check, equal_networks)
+{
+    xag a;
+    {
+        const auto x = a.create_pi();
+        const auto y = a.create_pi();
+        const auto z = a.create_pi();
+        a.create_po(a.create_maj_naive(x, y, z));
+    }
+    xag b;
+    {
+        const auto x = b.create_pi();
+        const auto y = b.create_pi();
+        const auto z = b.create_pi();
+        b.create_po(b.create_maj(x, y, z)); // 1-AND variant
+    }
+    const auto report = check_equivalence(a, b);
+    EXPECT_EQ(report.result, equivalence_result::equivalent);
+    EXPECT_FALSE(report.counterexample.has_value());
+}
+
+TEST(equivalence_check, different_networks_give_counterexample)
+{
+    xag a;
+    {
+        const auto x = a.create_pi();
+        const auto y = a.create_pi();
+        a.create_po(a.create_and(x, y));
+    }
+    xag b;
+    {
+        const auto x = b.create_pi();
+        const auto y = b.create_pi();
+        b.create_po(b.create_or(x, y));
+    }
+    const auto report = check_equivalence(a, b);
+    ASSERT_EQ(report.result, equivalence_result::not_equivalent);
+    ASSERT_TRUE(report.counterexample.has_value());
+    const auto& cex = *report.counterexample;
+    // The counterexample must actually distinguish the two networks.
+    std::vector<bool> in{cex[0], cex[1]};
+    EXPECT_NE(simulate_pattern(a, in), simulate_pattern(b, in));
+}
+
+TEST(equivalence_check, interface_mismatch_throws)
+{
+    xag a;
+    a.create_po(a.create_pi());
+    xag b;
+    b.create_po(b.create_and(b.create_pi(), b.create_pi()));
+    EXPECT_THROW(check_equivalence(a, b), std::invalid_argument);
+}
+
+TEST(equivalence_check, multi_output_adders)
+{
+    // Ripple-carry vs carry-by-majority 4-bit adders.
+    const auto build = [](bool cheap_maj) {
+        xag net;
+        std::vector<signal> x, y;
+        for (int i = 0; i < 4; ++i)
+            x.push_back(net.create_pi());
+        for (int i = 0; i < 4; ++i)
+            y.push_back(net.create_pi());
+        auto carry = net.get_constant(false);
+        for (int i = 0; i < 4; ++i) {
+            const auto sum = net.create_xor(net.create_xor(x[i], y[i]), carry);
+            carry = cheap_maj ? net.create_maj(x[i], y[i], carry)
+                              : net.create_maj_naive(x[i], y[i], carry);
+            net.create_po(sum);
+        }
+        net.create_po(carry);
+        return net;
+    };
+    const auto report = check_equivalence(build(false), build(true));
+    EXPECT_EQ(report.result, equivalence_result::equivalent);
+}
+
+} // namespace
+} // namespace mcx::sat

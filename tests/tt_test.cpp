@@ -1,0 +1,306 @@
+#include "tt/operations.h"
+#include "tt/truth_table.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mcx {
+namespace {
+
+truth_table random_tt(uint32_t num_vars, std::mt19937_64& rng)
+{
+    truth_table t{num_vars};
+    for (auto& w : t.words())
+        w = rng();
+    if (num_vars < 6)
+        t.words()[0] &= tt_mask(num_vars);
+    return t;
+}
+
+TEST(truth_table, projections_match_definition)
+{
+    for (uint32_t n = 1; n <= 8; ++n) {
+        for (uint32_t k = 0; k < n; ++k) {
+            const auto p = truth_table::projection(n, k);
+            for (uint64_t x = 0; x < p.num_bits(); ++x)
+                ASSERT_EQ(p.get_bit(x), ((x >> k) & 1) != 0)
+                    << "n=" << n << " k=" << k << " x=" << x;
+        }
+    }
+}
+
+TEST(truth_table, projection_out_of_range_throws)
+{
+    EXPECT_THROW(truth_table::projection(3, 3), std::invalid_argument);
+}
+
+TEST(truth_table, constants)
+{
+    for (uint32_t n : {0u, 1u, 3u, 6u, 9u}) {
+        const auto zero = truth_table::constant(n, false);
+        const auto one = truth_table::constant(n, true);
+        EXPECT_TRUE(zero.is_constant(false));
+        EXPECT_TRUE(one.is_constant(true));
+        EXPECT_EQ(zero.count_ones(), 0u);
+        EXPECT_EQ(one.count_ones(), one.num_bits());
+        EXPECT_EQ(~zero, one);
+        EXPECT_EQ(~one, zero);
+    }
+}
+
+TEST(truth_table, boolean_operations_small)
+{
+    const auto a = truth_table::projection(2, 0);
+    const auto b = truth_table::projection(2, 1);
+    EXPECT_EQ((a & b).word(), 0x8u);
+    EXPECT_EQ((a | b).word(), 0xeu);
+    EXPECT_EQ((a ^ b).word(), 0x6u);
+    EXPECT_EQ((~a).word(), 0x5u);
+}
+
+TEST(truth_table, not_masks_unused_bits)
+{
+    const truth_table t{3, 0x96};
+    const auto inv = ~t;
+    EXPECT_EQ(inv.word(), 0x69u);
+    EXPECT_EQ((~inv).word(), 0x96u);
+}
+
+TEST(truth_table, hex_roundtrip)
+{
+    std::mt19937_64 rng{42};
+    for (uint32_t n = 0; n <= 9; ++n) {
+        for (int rep = 0; rep < 16; ++rep) {
+            const auto t = random_tt(n, rng);
+            EXPECT_EQ(truth_table::from_hex(n, t.to_hex()), t)
+                << "n=" << n << " hex=" << t.to_hex();
+        }
+    }
+}
+
+TEST(truth_table, hex_known_values)
+{
+    // Full adder carry-out: majority of 3 inputs = 0xe8 (paper Example 3.1).
+    const auto a = truth_table::projection(3, 0);
+    const auto b = truth_table::projection(3, 1);
+    const auto c = truth_table::projection(3, 2);
+    const auto maj = (a & b) | (a & c) | (b & c);
+    EXPECT_EQ(maj.to_hex(), "e8");
+    // AND as 3-variable function with a don't-care input = 0x88.
+    EXPECT_EQ((a & b).to_hex(), "88");
+}
+
+TEST(truth_table, from_hex_rejects_bad_input)
+{
+    EXPECT_THROW(truth_table::from_hex(3, "123"), std::invalid_argument);
+    EXPECT_THROW(truth_table::from_hex(3, "g8"), std::invalid_argument);
+}
+
+TEST(truth_table, flip_var_matches_bruteforce)
+{
+    std::mt19937_64 rng{7};
+    for (uint32_t n : {3u, 6u, 8u}) {
+        const auto t = random_tt(n, rng);
+        for (uint32_t k = 0; k < n; ++k) {
+            const auto flipped = t.flip_var(k);
+            for (uint64_t x = 0; x < t.num_bits(); ++x)
+                ASSERT_EQ(flipped.get_bit(x), t.get_bit(x ^ (uint64_t{1} << k)));
+        }
+    }
+}
+
+TEST(truth_table, swap_vars_matches_bruteforce)
+{
+    std::mt19937_64 rng{8};
+    for (uint32_t n : {3u, 7u}) {
+        const auto t = random_tt(n, rng);
+        for (uint32_t i = 0; i < n; ++i)
+            for (uint32_t j = 0; j < n; ++j) {
+                const auto s = t.swap_vars(i, j);
+                for (uint64_t x = 0; x < t.num_bits(); ++x) {
+                    uint64_t y = x;
+                    const bool bi = (x >> i) & 1, bj = (x >> j) & 1;
+                    y = (y & ~(uint64_t{1} << i)) | (uint64_t{bj} << i);
+                    y = (y & ~(uint64_t{1} << j)) | (uint64_t{bi} << j);
+                    ASSERT_EQ(s.get_bit(x), t.get_bit(y));
+                }
+            }
+    }
+}
+
+TEST(truth_table, cofactor_matches_bruteforce)
+{
+    std::mt19937_64 rng{9};
+    for (uint32_t n : {4u, 7u}) {
+        const auto t = random_tt(n, rng);
+        for (uint32_t k = 0; k < n; ++k)
+            for (bool value : {false, true}) {
+                const auto cof = t.cofactor(k, value);
+                for (uint64_t x = 0; x < t.num_bits(); ++x) {
+                    uint64_t y = (x & ~(uint64_t{1} << k)) |
+                                 (uint64_t{value} << k);
+                    ASSERT_EQ(cof.get_bit(x), t.get_bit(y));
+                }
+                EXPECT_FALSE(cof.has_var(k));
+            }
+    }
+}
+
+TEST(truth_table, shannon_expansion_identity)
+{
+    std::mt19937_64 rng{10};
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto t = random_tt(6, rng);
+        for (uint32_t k = 0; k < 6; ++k) {
+            const auto xk = truth_table::projection(6, k);
+            const auto rebuilt =
+                (xk & t.cofactor(k, true)) | (~xk & t.cofactor(k, false));
+            ASSERT_EQ(rebuilt, t);
+        }
+    }
+}
+
+TEST(truth_table, support_detects_dont_cares)
+{
+    const auto a = truth_table::projection(4, 0);
+    const auto c = truth_table::projection(4, 2);
+    const auto f = a ^ c;
+    EXPECT_EQ(f.support(), (std::vector<uint32_t>{0, 2}));
+    EXPECT_TRUE(f.has_var(0));
+    EXPECT_FALSE(f.has_var(1));
+    EXPECT_TRUE(f.has_var(2));
+    EXPECT_FALSE(f.has_var(3));
+}
+
+TEST(operations, shrink_to_support_roundtrip)
+{
+    std::mt19937_64 rng{11};
+    // Build a 6-var function that only uses variables 1, 3, 4.
+    const auto g3 = random_tt(3, rng);
+    const std::vector<uint32_t> where{1, 3, 4};
+    const auto f = expand(g3, where, 6);
+    const auto view = shrink_to_support(f);
+    ASSERT_LE(view.support.size(), 3u);
+    const auto back = expand(view.function, view.support, 6);
+    EXPECT_EQ(back, f);
+}
+
+TEST(operations, expand_positions_validated)
+{
+    const truth_table f{2, 0x8};
+    const std::vector<uint32_t> bad{0};
+    EXPECT_THROW(expand(f, bad, 4), std::invalid_argument);
+}
+
+TEST(operations, anf_is_involution)
+{
+    std::mt19937_64 rng{12};
+    for (uint32_t n : {2u, 5u, 7u}) {
+        for (int rep = 0; rep < 8; ++rep) {
+            const auto t = random_tt(n, rng);
+            EXPECT_EQ(from_anf(to_anf(t)), t);
+        }
+    }
+}
+
+TEST(operations, anf_known_coefficients)
+{
+    const auto a = truth_table::projection(2, 0);
+    const auto b = truth_table::projection(2, 1);
+    // x0 & x1 has single monomial x0x1 -> ANF bit at index 3.
+    EXPECT_EQ(to_anf(a & b).word(), 0x8u);
+    // x0 | x1 = x0 ^ x1 ^ x0x1 -> bits at 1, 2, 3.
+    EXPECT_EQ(to_anf(a | b).word(), 0xeu);
+    // XOR is linear.
+    EXPECT_EQ(to_anf(a ^ b).word(), 0x6u);
+}
+
+TEST(operations, degree_of_standard_functions)
+{
+    const auto a = truth_table::projection(3, 0);
+    const auto b = truth_table::projection(3, 1);
+    const auto c = truth_table::projection(3, 2);
+    EXPECT_EQ(degree(truth_table::constant(3, false)), 0u);
+    EXPECT_EQ(degree(a), 1u);
+    EXPECT_EQ(degree(a ^ b ^ c), 1u);
+    EXPECT_EQ(degree(a & b), 2u);
+    EXPECT_EQ(degree((a & b) | (a & c) | (b & c)), 2u); // majority
+    EXPECT_EQ(degree(a & b & c), 3u);
+    EXPECT_TRUE(is_affine_function(~(a ^ b)));
+    EXPECT_FALSE(is_affine_function(a & b));
+}
+
+TEST(operations, affine_op_translation)
+{
+    // f = x0 x1; substituting x0 <- x0 ^ x1 yields (x0 ^ x1) x1 = x1 & ~x0...
+    // check against direct evaluation instead of a hand formula.
+    std::mt19937_64 rng{13};
+    const auto f = random_tt(4, rng);
+    const auto g = op_translation(f, 0, 2);
+    for (uint64_t x = 0; x < 16; ++x) {
+        const uint64_t y = x ^ (((x >> 2) & 1) << 0);
+        ASSERT_EQ(g.get_bit(x), f.get_bit(y));
+    }
+    EXPECT_THROW(op_translation(f, 1, 1), std::invalid_argument);
+}
+
+TEST(operations, affine_ops_are_involutions)
+{
+    std::mt19937_64 rng{14};
+    const auto f = random_tt(5, rng);
+    EXPECT_EQ(op_swap(op_swap(f, 1, 3), 1, 3), f);
+    EXPECT_EQ(op_input_complement(op_input_complement(f, 2), 2), f);
+    EXPECT_EQ(op_output_complement(op_output_complement(f)), f);
+    EXPECT_EQ(op_translation(op_translation(f, 0, 4), 0, 4), f);
+    EXPECT_EQ(op_disjoint_translation(op_disjoint_translation(f, 3), 3), f);
+}
+
+TEST(operations, apply_affine_identity)
+{
+    std::mt19937_64 rng{15};
+    const auto f = random_tt(4, rng);
+    const std::vector<uint32_t> id{1, 2, 4, 8};
+    EXPECT_EQ(apply_affine(f, id, 0, 0, false), f);
+    EXPECT_EQ(apply_affine(f, id, 0, 0, true), ~f);
+}
+
+TEST(operations, apply_affine_composes_elementary_ops)
+{
+    std::mt19937_64 rng{16};
+    const auto f = random_tt(4, rng);
+    // Input complement of variable 1 == c = e1.
+    const std::vector<uint32_t> id{1, 2, 4, 8};
+    EXPECT_EQ(apply_affine(f, id, 0b0010, 0, false), f.flip_var(1));
+    // Disjoint translation f ^ x2 == v = e2.
+    EXPECT_EQ(apply_affine(f, id, 0, 0b0100, false),
+              op_disjoint_translation(f, 2));
+    // Swap of variables 0 and 3 as a permutation matrix.
+    const std::vector<uint32_t> swap03{8, 2, 4, 1};
+    EXPECT_EQ(apply_affine(f, swap03, 0, 0, false), f.swap_vars(0, 3));
+    // x0 <- x0 ^ x2: g(y) = f(My) with column(2) = e2 ^ e0.
+    const std::vector<uint32_t> trans{1, 2, 5, 8};
+    EXPECT_EQ(apply_affine(f, trans, 0, 0, false), op_translation(f, 0, 2));
+}
+
+TEST(truth_table, hash_distinguishes_basic_cases)
+{
+    const truth_table a{3, 0x88};
+    const truth_table b{3, 0xe8};
+    const truth_table c{4, 0x88};
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_NE(a.hash(), c.hash()); // same bits, different arity
+    EXPECT_EQ(a.hash(), truth_table(3, 0x88).hash());
+}
+
+TEST(truth_table, ordering_is_total_on_samples)
+{
+    const truth_table a{3, 0x12};
+    const truth_table b{3, 0x88};
+    EXPECT_TRUE(a < b);
+    EXPECT_FALSE(b < a);
+    EXPECT_FALSE(a < a);
+}
+
+} // namespace
+} // namespace mcx
