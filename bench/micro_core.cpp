@@ -1,92 +1,246 @@
-// Micro-benchmarks (google-benchmark): substrate throughput numbers that
-// back the engineering claims in DESIGN.md — truth-table operations, cut
-// enumeration rate, spectral classification latency, exact synthesis, and
-// a full rewriting round.
+// Micro-benchmarks for the cut->canonize->classify->rewrite hot loop.
+//
+// Self-contained chrono harness (no external benchmark dependency) that
+// measures each stage in ns/op, A/B-compares the word-parallel fast paths
+// against the retained seed implementations (npn_canonize_baseline, the
+// scalar cut-merge path), reports cache hit rates from a real rewriting
+// round, and emits everything machine-readable to BENCH_micro_core.json
+// (override the path with MCX_BENCH_JSON).
+//
+// CI gates on the speedup ratios printed here: the word-parallel NPN
+// canonizer must be >= 5x the brute force and word-parallel cut enumeration
+// >= 2x the scalar path (ISSUE 1 acceptance criteria).
 #include "core/rewrite.h"
 #include "cut/cut_enumeration.h"
 #include "exact/exact_mc.h"
 #include "gen/arithmetic.h"
+#include "npn/npn.h"
 #include "spectral/classification.h"
 #include "tt/operations.h"
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <random>
+#include <string>
+#include <vector>
 
 namespace {
 
 using namespace mcx;
 
-void bm_tt_anf(benchmark::State& state)
+uint64_t g_sink = 0; ///< defeats dead-code elimination across all benches
+
+struct bench_result {
+    std::string name;
+    double ns_per_op = 0;
+    uint64_t ops = 0;
+};
+
+std::vector<bench_result> g_results;
+
+/// Run `body` (which performs `batch` operations per call) and record ns
+/// per single operation.  After one warm-up, repetitions are calibrated so
+/// a sample lasts >= ~5 ms, then the minimum over five samples is taken —
+/// the minimum is robust against scheduler noise and concurrent load,
+/// which matters because CI gates on ratios of these numbers.
+template <typename Body>
+double run_bench(const std::string& name, uint64_t batch, Body&& body)
 {
-    std::mt19937_64 rng{1};
-    truth_table t{6, rng()};
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(to_anf(t));
+    using clock = std::chrono::steady_clock;
+    const auto time_reps = [&](uint64_t reps) {
+        const auto start = clock::now();
+        for (uint64_t r = 0; r < reps; ++r)
+            body();
+        return std::chrono::duration<double>(clock::now() - start).count();
+    };
+
+    body(); // warm-up
+    uint64_t reps = 1;
+    while (time_reps(reps) < 0.005 && reps < 1'000'000)
+        reps *= 4;
+
+    double best = 1e300;
+    uint64_t ops = 0;
+    for (int sample = 0; sample < 5; ++sample) {
+        const double seconds = time_reps(reps);
+        best = std::min(best,
+                        seconds / static_cast<double>(reps * batch));
+        ops += reps * batch;
     }
+    const double ns = best * 1e9;
+    g_results.push_back({name, ns, ops});
+    std::printf("%-34s %12.1f ns/op   (%llu ops)\n", name.c_str(), ns,
+                static_cast<unsigned long long>(ops));
+    return ns;
 }
-BENCHMARK(bm_tt_anf);
 
-void bm_tt_shrink_to_support(benchmark::State& state)
+std::vector<truth_table> random_functions(uint32_t num_vars, size_t count,
+                                          uint64_t seed)
 {
-    const auto f = truth_table{6, 0x8888888888888888ull}; // 2-var function
-    for (auto _ : state)
-        benchmark::DoNotOptimize(shrink_to_support(f));
+    std::mt19937_64 rng{seed};
+    std::vector<truth_table> fs;
+    fs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        fs.push_back(truth_table{num_vars, rng() & tt_mask(num_vars)});
+    return fs;
 }
-BENCHMARK(bm_tt_shrink_to_support);
-
-void bm_walsh_spectrum(benchmark::State& state)
-{
-    std::mt19937_64 rng{2};
-    const truth_table t{6, rng()};
-    for (auto _ : state)
-        benchmark::DoNotOptimize(walsh_spectrum(t));
-}
-BENCHMARK(bm_walsh_spectrum);
-
-void bm_classify_random6(benchmark::State& state)
-{
-    std::mt19937_64 rng{3};
-    for (auto _ : state) {
-        const truth_table t{6, rng()};
-        benchmark::DoNotOptimize(
-            classify_affine(t, {.iteration_limit = 100'000}));
-    }
-}
-BENCHMARK(bm_classify_random6);
-
-void bm_cut_enumeration_multiplier(benchmark::State& state)
-{
-    const auto net = gen_multiplier(16);
-    for (auto _ : state) {
-        cut_enumeration_stats stats;
-        benchmark::DoNotOptimize(enumerate_cuts(net, {}, &stats));
-        state.counters["cuts"] = static_cast<double>(stats.total_cuts);
-    }
-}
-BENCHMARK(bm_cut_enumeration_multiplier);
-
-void bm_exact_mc_maj3(benchmark::State& state)
-{
-    const truth_table maj{3, 0xe8};
-    for (auto _ : state)
-        benchmark::DoNotOptimize(exact_mc_synthesis(maj));
-}
-BENCHMARK(bm_exact_mc_maj3);
-
-void bm_rewrite_round_adder(benchmark::State& state)
-{
-    for (auto _ : state) {
-        state.PauseTiming();
-        auto net = gen_adder(static_cast<uint32_t>(state.range(0)));
-        mc_database db;
-        classification_cache cache;
-        state.ResumeTiming();
-        benchmark::DoNotOptimize(mc_rewrite_round(net, db, cache));
-    }
-}
-BENCHMARK(bm_rewrite_round_adder)->Arg(16)->Arg(64);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main()
+{
+    std::printf("micro_core: hot-loop stage benchmarks\n\n");
+
+    // ------------------------------------------------------------- tt ops
+    {
+        std::mt19937_64 rng{1};
+        const truth_table t{6, rng()};
+        run_bench("tt/to_anf", 1, [&] { g_sink += to_anf(t).word(); });
+        const truth_table wide{6, 0x8888888888888888ull};
+        run_bench("tt/shrink_to_support", 1,
+                  [&] { g_sink += shrink_to_support(wide).support.size(); });
+        run_bench("spectral/walsh_spectrum", 1,
+                  [&] { g_sink += static_cast<uint64_t>(walsh_spectrum(t)[0]); });
+    }
+
+    // --------------------------------------------- NPN canonization (A/B)
+    const auto npn_pool = random_functions(4, 256, 42);
+    const double npn_fast_ns =
+        run_bench("npn/canonize_word_parallel", npn_pool.size(), [&] {
+            for (const auto& f : npn_pool)
+                g_sink += npn_canonize(f).representative.word();
+        });
+    const double npn_base_ns =
+        run_bench("npn/canonize_baseline", npn_pool.size(), [&] {
+            for (const auto& f : npn_pool)
+                g_sink += npn_canonize_baseline(f).representative.word();
+        });
+    const double npn_speedup = npn_base_ns / npn_fast_ns;
+    std::printf("%-34s %12.1f x\n", "npn/speedup", npn_speedup);
+
+    double npn_cached_ns = 0;
+    {
+        npn_cache cache;
+        for (const auto& f : npn_pool)
+            cache.canonize(f); // warm
+        npn_cached_ns = run_bench("npn/canonize_cached", npn_pool.size(), [&] {
+            for (const auto& f : npn_pool)
+                g_sink += cache.canonize(f).representative.word();
+        });
+    }
+
+    // ------------------------------------------------ cut enumeration (A/B)
+    const auto mult = gen_multiplier(16);
+    const double cut_fast_ns =
+        run_bench("cut/enumerate_word_parallel", 1, [&] {
+            cut_enumeration_stats s;
+            g_sink += enumerate_cuts(mult, {.word_parallel = true}, &s)
+                          .back()
+                          .size();
+        });
+    const double cut_scalar_ns = run_bench("cut/enumerate_scalar", 1, [&] {
+        cut_enumeration_stats s;
+        g_sink +=
+            enumerate_cuts(mult, {.word_parallel = false}, &s).back().size();
+    });
+    const double cut_speedup = cut_scalar_ns / cut_fast_ns;
+    std::printf("%-34s %12.1f x\n", "cut/speedup", cut_speedup);
+
+    // -------------------------------------------------- classification
+    {
+        const auto fs = random_functions(6, 8, 3);
+        run_bench("spectral/classify_random6", fs.size(), [&] {
+            for (const auto& f : fs)
+                g_sink += classify_affine(f, {.iteration_limit = 100'000})
+                              .iterations;
+        });
+    }
+
+    // -------------------------------------------------- exact synthesis
+    run_bench("exact/mc_maj3", 1, [&] {
+        g_sink += exact_mc_synthesis(truth_table{3, 0xe8}).num_ands;
+    });
+
+    // ------------------------------------- full round with stage breakdown
+    auto net = gen_adder(64);
+    mc_database db;
+    classification_cache cls_cache;
+    const auto round = mc_rewrite_round(net, db, cls_cache);
+    const double cls_hit_rate = round.canon_cache_hit_rate();
+    const double db_total =
+        static_cast<double>(round.db_hits + round.db_misses);
+    const double db_hit_rate =
+        db_total == 0 ? 0.0 : static_cast<double>(round.db_hits) / db_total;
+    std::printf("\nmc_rewrite_round(adder64):\n");
+    std::printf("  total %.3f s  (cuts %.3f s, rewrite %.3f s)\n",
+                round.seconds, round.cut_seconds, round.rewrite_seconds);
+    std::printf("  classification cache: %llu hits / %llu misses (%.1f%%)\n",
+                static_cast<unsigned long long>(round.canon_cache_hits),
+                static_cast<unsigned long long>(round.canon_cache_misses),
+                100.0 * cls_hit_rate);
+    std::printf("  database: %llu hits / %llu builds (%.1f%%)\n",
+                static_cast<unsigned long long>(round.db_hits),
+                static_cast<unsigned long long>(round.db_misses),
+                100.0 * db_hit_rate);
+    std::printf("  cuts: %llu stored, %llu pairs merged, %llu duplicates, "
+                "%llu dominated\n",
+                static_cast<unsigned long long>(round.cut_stats.total_cuts),
+                static_cast<unsigned long long>(round.cut_stats.merged_pairs),
+                static_cast<unsigned long long>(
+                    round.cut_stats.duplicate_cuts),
+                static_cast<unsigned long long>(
+                    round.cut_stats.dominated_cuts));
+
+    // ------------------------------------------------------- JSON output
+    const char* json_path_env = std::getenv("MCX_BENCH_JSON");
+    const std::string json_path =
+        json_path_env != nullptr ? json_path_env : "BENCH_micro_core.json";
+    FILE* json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < g_results.size(); ++i) {
+        const auto& r = g_results[i];
+        std::fprintf(json,
+                     "    {\"name\": \"%s\", \"ns_per_op\": %.2f, "
+                     "\"ops\": %llu}%s\n",
+                     r.name.c_str(), r.ns_per_op,
+                     static_cast<unsigned long long>(r.ops),
+                     i + 1 < g_results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"speedups\": {\"npn_canonize\": %.2f, "
+                 "\"cut_enumeration\": %.2f},\n",
+                 npn_speedup, cut_speedup);
+    std::fprintf(json,
+                 "  \"cache\": {\"npn_cached_ns_per_op\": %.2f, "
+                 "\"classification_hit_rate\": %.4f, "
+                 "\"db_hit_rate\": %.4f},\n",
+                 npn_cached_ns, cls_hit_rate, db_hit_rate);
+    std::fprintf(json,
+                 "  \"round\": {\"seconds\": %.4f, \"cut_seconds\": %.4f, "
+                 "\"rewrite_seconds\": %.4f, \"replacements\": %llu},\n",
+                 round.seconds, round.cut_seconds, round.rewrite_seconds,
+                 static_cast<unsigned long long>(round.replacements));
+    std::fprintf(json, "  \"sink\": %llu\n}\n",
+                 static_cast<unsigned long long>(g_sink));
+    std::fclose(json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+
+    // Acceptance gates (ISSUE 1): fail loudly if the fast paths regress.
+    if (npn_speedup < 5.0 || cut_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: speedup gates not met (npn %.2fx >= 5x, cut "
+                     "%.2fx >= 2x)\n",
+                     npn_speedup, cut_speedup);
+        return 1;
+    }
+    std::printf("speedup gates passed (npn %.1fx >= 5x, cut %.1fx >= 2x)\n",
+                npn_speedup, cut_speedup);
+    return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (build + ctest) plus the micro-benchmark
+# smoke run.  bench_micro_core exits non-zero if the word-parallel fast
+# paths regress below their speedup gates (npn >= 5x, cut enumeration
+# >= 2x) and emits BENCH_micro_core.json with per-stage ns/op and cache
+# hit rates.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+./build/bench_micro_core
+echo "ci.sh: all gates passed"

@@ -1,0 +1,81 @@
+// Bounded LRU memoization for the hot-loop caches (NPN canonization,
+// affine classification).  On AES/DES/SHA netlists the same cut functions
+// recur constantly, so these caches convert the dominant per-cut cost into
+// a hash lookup while the bound keeps memory flat on adversarial inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace mcx {
+
+/// Fixed-capacity least-recently-used map.  `find` promotes the entry to
+/// most-recently-used; `insert` beyond capacity evicts the LRU entry.
+/// Values live in list nodes, so a reference returned by find/insert stays
+/// valid until that entry is evicted (at least `capacity` inserts later —
+/// callers consume the reference before touching the cache again).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class lru_cache {
+public:
+    explicit lru_cache(size_t capacity = default_capacity)
+        : capacity_{capacity == 0 ? 1 : capacity}
+    {
+    }
+
+    static constexpr size_t default_capacity = size_t{1} << 20;
+
+    /// Pointer to the cached value, or nullptr on a miss.  Counts hit/miss.
+    Value* find(const Key& key)
+    {
+        const auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        order_.splice(order_.begin(), order_, it->second);
+        return &it->second->second;
+    }
+
+    /// Insert (or overwrite) and return a reference to the stored value.
+    Value& insert(const Key& key, Value value)
+    {
+        if (const auto it = map_.find(key); it != map_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return it->second->second;
+        }
+        order_.emplace_front(key, std::move(value));
+        map_.emplace(key, order_.begin());
+        if (map_.size() > capacity_) {
+            map_.erase(order_.back().first);
+            order_.pop_back();
+        }
+        return order_.front().second;
+    }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    size_t size() const { return map_.size(); }
+    size_t capacity() const { return capacity_; }
+
+    void clear()
+    {
+        map_.clear();
+        order_.clear();
+    }
+
+private:
+    using entry_list = std::list<std::pair<Key, Value>>;
+
+    size_t capacity_;
+    entry_list order_; ///< most-recently-used first
+    std::unordered_map<Key, typename entry_list::iterator, Hash> map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace mcx

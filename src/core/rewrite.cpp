@@ -236,9 +236,17 @@ round_stats mc_rewrite_round(xag& network, mc_database& db,
     round_stats stats;
     stats.ands_before = network.num_ands();
     stats.xors_before = network.num_xors();
+    const auto cache_hits0 = cache.hits();
+    const auto cache_misses0 = cache.misses();
+    const auto db_hits0 = db.hits();
+    const auto db_misses0 = db.misses();
 
     const auto cuts = enumerate_cuts(
-        network, {.cut_size = params.cut_size, .cut_limit = params.cut_limit});
+        network, {.cut_size = params.cut_size, .cut_limit = params.cut_limit},
+        &stats.cut_stats);
+    const auto cuts_done = std::chrono::steady_clock::now();
+    stats.cut_seconds =
+        std::chrono::duration<double>(cuts_done - start).count();
 
     pass_context ctx{network, cuts, stats};
     rewrite_pass(
@@ -261,9 +269,14 @@ round_stats mc_rewrite_round(xag& network, mc_database& db,
 
     stats.ands_after = network.num_ands();
     stats.xors_after = network.num_xors();
-    stats.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    const auto end = std::chrono::steady_clock::now();
+    stats.rewrite_seconds =
+        std::chrono::duration<double>(end - cuts_done).count();
+    stats.seconds = std::chrono::duration<double>(end - start).count();
+    stats.canon_cache_hits = cache.hits() - cache_hits0;
+    stats.canon_cache_misses = cache.misses() - cache_misses0;
+    stats.db_hits = db.hits() - db_hits0;
+    stats.db_misses = db.misses() - db_misses0;
     return stats;
 }
 
@@ -287,22 +300,31 @@ convergence_stats mc_rewrite(xag& network, const rewrite_params& params,
 }
 
 round_stats size_rewrite_round(xag& network, size_database& db,
+                               npn_cache& cache,
                                const size_rewrite_params& params)
 {
     const auto start = std::chrono::steady_clock::now();
     round_stats stats;
     stats.ands_before = network.num_ands();
     stats.xors_before = network.num_xors();
+    const auto cache_hits0 = cache.hits();
+    const auto cache_misses0 = cache.misses();
+    const auto db_hits0 = db.hits();
+    const auto db_misses0 = db.misses();
 
     const auto cuts = enumerate_cuts(
-        network, {.cut_size = params.cut_size, .cut_limit = params.cut_limit});
+        network, {.cut_size = params.cut_size, .cut_limit = params.cut_limit},
+        &stats.cut_stats);
+    const auto cuts_done = std::chrono::steady_clock::now();
+    stats.cut_seconds =
+        std::chrono::duration<double>(cuts_done - start).count();
 
     pass_context ctx{network, cuts, stats};
     rewrite_pass(
         ctx, 2,
         [&](const truth_table& f,
             std::span<const signal> leaves) -> std::optional<signal> {
-            const auto canon = npn_canonize(f);
+            const auto& canon = cache.canonize(f);
             const auto& entry = db.lookup_or_build(canon.representative);
             return splice_npn(network, canon.transform, leaves,
                               entry.circuit);
@@ -314,19 +336,32 @@ round_stats size_rewrite_round(xag& network, size_database& db,
 
     stats.ands_after = network.num_ands();
     stats.xors_after = network.num_xors();
-    stats.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    const auto end = std::chrono::steady_clock::now();
+    stats.rewrite_seconds =
+        std::chrono::duration<double>(end - cuts_done).count();
+    stats.seconds = std::chrono::duration<double>(end - start).count();
+    stats.canon_cache_hits = cache.hits() - cache_hits0;
+    stats.canon_cache_misses = cache.misses() - cache_misses0;
+    stats.db_hits = db.hits() - db_hits0;
+    stats.db_misses = db.misses() - db_misses0;
     return stats;
+}
+
+round_stats size_rewrite_round(xag& network, size_database& db,
+                               const size_rewrite_params& params)
+{
+    npn_cache cache;
+    return size_rewrite_round(network, db, cache, params);
 }
 
 convergence_stats size_rewrite(xag& network, size_database& db,
                                const size_rewrite_params& params,
                                uint32_t max_rounds)
 {
+    npn_cache cache;
     return run_until_convergence(
         network,
-        [&](xag& net) { return size_rewrite_round(net, db, params); },
+        [&](xag& net) { return size_rewrite_round(net, db, cache, params); },
         max_rounds, false);
 }
 

@@ -10,8 +10,10 @@
 // iterates rounds until the AND count stops improving (paper Tables 1, 2).
 #pragma once
 
+#include "cut/cut_enumeration.h"
 #include "db/mc_database.h"
 #include "db/size_database.h"
+#include "npn/npn.h"
 #include "spectral/classification.h"
 #include "xag/xag.h"
 
@@ -38,6 +40,26 @@ struct round_stats {
     uint64_t candidates_built = 0;
     uint64_t replacements = 0;
     double seconds = 0.0;
+
+    // --- per-stage breakdown of the hot loop (filled by every round) ------
+    double cut_seconds = 0.0;     ///< time inside enumerate_cuts
+    double rewrite_seconds = 0.0; ///< time in the canonize/classify/splice pass
+    cut_enumeration_stats cut_stats; ///< merge/dedup/domination counters
+    /// Canonization-cache traffic this round: classification_cache for the
+    /// proposed method, npn_cache for the size baseline.
+    uint64_t canon_cache_hits = 0;
+    uint64_t canon_cache_misses = 0;
+    /// Database traffic this round (lookup served vs. circuit synthesized).
+    uint64_t db_hits = 0;
+    uint64_t db_misses = 0;
+
+    double canon_cache_hit_rate() const
+    {
+        const auto total = canon_cache_hits + canon_cache_misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(canon_cache_hits) /
+                                static_cast<double>(total);
+    }
 };
 
 struct convergence_stats {
@@ -87,7 +109,14 @@ struct size_rewrite_params {
     size_database_params db;
 };
 
-/// One pass of the generic size baseline (unit cost for AND and XOR).
+/// One pass of the generic size baseline (unit cost for AND and XOR).  The
+/// npn_cache memoizes canonization across calls, mirroring the proposed
+/// method's classification cache.
+round_stats size_rewrite_round(xag& network, size_database& db,
+                               npn_cache& cache,
+                               const size_rewrite_params& params = {});
+
+/// Convenience overload with a throwaway canonization cache.
 round_stats size_rewrite_round(xag& network, size_database& db,
                                const size_rewrite_params& params = {});
 

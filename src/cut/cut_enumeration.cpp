@@ -1,5 +1,7 @@
 #include "cut/cut_enumeration.h"
 
+#include "tt/words.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -7,6 +9,10 @@ namespace mcx {
 
 namespace {
 
+/// Bloom-style signature of a leaf set: node id l sets bit (l & 63).  Ids
+/// alias modulo 64, so `(sa & sb) == sa` is a necessary-but-not-sufficient
+/// subset test — a cheap prefilter that never rejects a true subset; exact
+/// containment is decided by cut::dominates' two-pointer walk.
 uint64_t leaf_signature(std::span<const uint32_t> leaves)
 {
     uint64_t sig = 0;
@@ -15,40 +21,73 @@ uint64_t leaf_signature(std::span<const uint32_t> leaves)
     return sig;
 }
 
-/// Merge two sorted leaf sets; false if the union exceeds `limit`.
-bool merge_leaves(const cut& a, const cut& b, uint32_t limit, cut& out)
+/// Merge two sorted leaf sets; false if the union exceeds `limit`.  On
+/// success `pos_a[i]` / `pos_b[i]` give the index of each child leaf within
+/// the merged set — computed here, during the merge, so function expansion
+/// never searches for leaf positions again.
+bool merge_leaves(const cut& a, const cut& b, uint32_t limit, cut& out,
+                  std::array<uint8_t, max_cut_size>& pos_a,
+                  std::array<uint8_t, max_cut_size>& pos_b)
 {
     uint32_t ia = 0, ib = 0, n = 0;
     while (ia < a.num_leaves && ib < b.num_leaves) {
         if (n == limit)
             return false;
         if (a.leaves[ia] == b.leaves[ib]) {
+            pos_a[ia] = static_cast<uint8_t>(n);
+            pos_b[ib] = static_cast<uint8_t>(n);
             out.leaves[n++] = a.leaves[ia++];
             ++ib;
         } else if (a.leaves[ia] < b.leaves[ib]) {
+            pos_a[ia] = static_cast<uint8_t>(n);
             out.leaves[n++] = a.leaves[ia++];
         } else {
+            pos_b[ib] = static_cast<uint8_t>(n);
             out.leaves[n++] = b.leaves[ib++];
         }
     }
     while (ia < a.num_leaves) {
         if (n == limit)
             return false;
+        pos_a[ia] = static_cast<uint8_t>(n);
         out.leaves[n++] = a.leaves[ia++];
     }
     while (ib < b.num_leaves) {
         if (n == limit)
             return false;
+        pos_b[ib] = static_cast<uint8_t>(n);
         out.leaves[n++] = b.leaves[ib++];
     }
     out.num_leaves = static_cast<uint8_t>(n);
     return true;
 }
 
-/// Re-express a child's cut function over the merged leaf set.
-uint64_t expand_function(uint64_t f, const cut& child, const cut& merged)
+/// Word-parallel expansion: re-express a child function over the merged
+/// leaf set by inserting a don't-care variable at every merged position the
+/// child does not occupy.  Child positions are strictly increasing (both
+/// leaf sets are sorted), so each insertion is a handful of masked shifts.
+uint64_t expand_word(uint64_t f, uint32_t child_vars,
+                     const std::array<uint8_t, max_cut_size>& pos,
+                     uint32_t merged_vars)
 {
-    // position[i] = index of child leaf i within merged leaves
+    uint32_t cur = child_vars;
+    uint32_t i = 0;
+    for (uint32_t j = 0; j < merged_vars; ++j) {
+        if (i < child_vars && pos[i] == j) {
+            ++i;
+            continue;
+        }
+        f = tt_insert_var_word(f, cur, j);
+        ++cur;
+    }
+    return f;
+}
+
+/// Seed-faithful scalar expansion (position search + per-minterm loop),
+/// retained behind `word_parallel = false` for differential tests and the
+/// bench/micro_core speedup measurement.
+uint64_t expand_function_scalar(uint64_t f, const cut& child, const cut& merged)
+{
     std::array<uint8_t, max_cut_size> position{};
     for (uint32_t i = 0; i < child.num_leaves; ++i) {
         const auto it = std::find(merged.leaves.begin(),
@@ -68,6 +107,46 @@ uint64_t expand_function(uint64_t f, const cut& child, const cut& merged)
     return r;
 }
 
+/// Seed-faithful scalar subset test (std::find per leaf), for the legacy
+/// path only.
+bool scalar_dominates(const cut& a, const cut& b)
+{
+    if (a.num_leaves > b.num_leaves)
+        return false;
+    if ((a.signature & b.signature) != a.signature)
+        return false;
+    for (uint32_t i = 0; i < a.num_leaves; ++i)
+        if (std::find(b.leaves.begin(), b.leaves.begin() + b.num_leaves,
+                      a.leaves[i]) == b.leaves.begin() + b.num_leaves)
+            return false;
+    return true;
+}
+
+/// Hash of (leaf set, function) for O(1) exact-duplicate rejection in the
+/// merge loop (splitmix64-style mixing).
+uint64_t cut_key(const cut& c)
+{
+    uint64_t h = 0x9e3779b97f4a7c15ull ^ c.num_leaves;
+    const auto mix = [&h](uint64_t value) {
+        h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        uint64_t z = h;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        h = z ^ (z >> 31);
+    };
+    for (uint32_t i = 0; i < c.num_leaves; ++i)
+        mix(c.leaves[i]);
+    mix(c.function);
+    return h;
+}
+
+bool same_leaves(const cut& a, const cut& b)
+{
+    return a.num_leaves == b.num_leaves &&
+           std::equal(a.leaves.begin(), a.leaves.begin() + a.num_leaves,
+                      b.leaves.begin());
+}
+
 cut trivial_cut(uint32_t n)
 {
     cut c;
@@ -85,12 +164,22 @@ bool cut::dominates(const cut& other) const
     if (num_leaves > other.num_leaves)
         return false;
     if ((signature & other.signature) != signature)
-        return false;
-    for (uint32_t i = 0; i < num_leaves; ++i)
-        if (std::find(other.leaves.begin(),
-                      other.leaves.begin() + other.num_leaves,
-                      leaves[i]) == other.leaves.begin() + other.num_leaves)
+        return false; // Bloom prefilter: definitely not a subset
+    // Exact two-pointer subset walk over the sorted leaf arrays.
+    uint32_t i = 0, j = 0;
+    while (i < num_leaves) {
+        const uint32_t remaining = num_leaves - i;
+        if (other.num_leaves - j < remaining)
             return false;
+        if (leaves[i] == other.leaves[j]) {
+            ++i;
+            ++j;
+        } else if (leaves[i] > other.leaves[j]) {
+            ++j;
+        } else {
+            return false; // other passed leaves[i] without matching it
+        }
+    }
     return true;
 }
 
@@ -105,6 +194,7 @@ std::vector<std::vector<cut>> enumerate_cuts(const xag& network,
 
     std::vector<std::vector<cut>> sets(network.size());
     std::vector<cut> candidates;
+    std::vector<uint64_t> keys; // cut_key per candidate (word-parallel path)
 
     for (const auto n : network.topological_order()) {
         if (network.is_pi(n)) {
@@ -120,17 +210,29 @@ std::vector<std::vector<cut>> enumerate_cuts(const xag& network,
         const auto& set1 = sets[f1.node()];
 
         candidates.clear();
+        keys.clear();
         for (const auto& ca : set0) {
             for (const auto& cb : set1) {
                 if (stats)
                     ++stats->merged_pairs;
                 cut merged;
-                if (!merge_leaves(ca, cb, params.cut_size, merged))
+                std::array<uint8_t, max_cut_size> pos_a{};
+                std::array<uint8_t, max_cut_size> pos_b{};
+                if (!merge_leaves(ca, cb, params.cut_size, merged, pos_a,
+                                  pos_b))
                     continue;
                 merged.signature = ca.signature | cb.signature;
 
-                uint64_t fa = expand_function(ca.function, ca, merged);
-                uint64_t fb = expand_function(cb.function, cb, merged);
+                uint64_t fa, fb;
+                if (params.word_parallel) {
+                    fa = expand_word(ca.function, ca.num_leaves, pos_a,
+                                     merged.num_leaves);
+                    fb = expand_word(cb.function, cb.num_leaves, pos_b,
+                                     merged.num_leaves);
+                } else {
+                    fa = expand_function_scalar(ca.function, ca, merged);
+                    fb = expand_function_scalar(cb.function, cb, merged);
+                }
                 const uint64_t mask = tt_mask(merged.num_leaves);
                 if (f0.complemented())
                     fa = ~fa & mask;
@@ -138,20 +240,73 @@ std::vector<std::vector<cut>> enumerate_cuts(const xag& network,
                     fb = ~fb & mask;
                 merged.function = network.is_and(n) ? (fa & fb) : (fa ^ fb);
 
-                // Skip duplicates and dominated candidates.
-                bool drop = false;
-                for (auto& existing : candidates) {
-                    if (existing.dominates(merged)) {
-                        drop = true;
-                        break;
+                if (params.word_parallel) {
+                    // Duplicate rejection: one 64-bit compare per existing
+                    // candidate (the leaf walk only runs on a key match) —
+                    // repeated leaf sets are the common case, and a
+                    // duplicate's domination scan is pure waste.
+                    const uint64_t key = cut_key(merged);
+                    bool duplicate = false;
+                    for (size_t i = 0; i < keys.size(); ++i) {
+                        if (keys[i] == key &&
+                            same_leaves(candidates[i], merged)) {
+                            duplicate = true;
+                            break;
+                        }
                     }
+                    if (duplicate) {
+                        if (stats)
+                            ++stats->duplicate_cuts;
+                        continue;
+                    }
+
+                    // Signature-prefiltered domination (cut::dominates).
+                    bool drop = false;
+                    for (const auto& existing : candidates) {
+                        if (existing.dominates(merged)) {
+                            drop = true;
+                            break;
+                        }
+                    }
+                    if (drop) {
+                        if (stats)
+                            ++stats->dominated_cuts;
+                        continue;
+                    }
+                    size_t kept = 0;
+                    for (size_t i = 0; i < candidates.size(); ++i) {
+                        if (merged.dominates(candidates[i])) {
+                            if (stats)
+                                ++stats->evicted_cuts;
+                            continue;
+                        }
+                        candidates[kept] = candidates[i];
+                        keys[kept] = keys[i];
+                        ++kept;
+                    }
+                    candidates.resize(kept);
+                    keys.resize(kept);
+                    candidates.push_back(merged);
+                    keys.push_back(key);
+                } else {
+                    // Seed-faithful quadratic scan with std::find subsets.
+                    bool drop = false;
+                    for (auto& existing : candidates) {
+                        if (scalar_dominates(existing, merged)) {
+                            drop = true;
+                            break;
+                        }
+                    }
+                    if (drop) {
+                        if (stats)
+                            ++stats->dominated_cuts;
+                        continue;
+                    }
+                    std::erase_if(candidates, [&](const cut& existing) {
+                        return scalar_dominates(merged, existing);
+                    });
+                    candidates.push_back(merged);
                 }
-                if (drop)
-                    continue;
-                std::erase_if(candidates, [&](const cut& existing) {
-                    return merged.dominates(existing);
-                });
-                candidates.push_back(merged);
             }
         }
 

@@ -5,6 +5,17 @@
 // terms of the leaves.  The paper restricts enumeration to 6-cuts (so cut
 // functions fit a 64-bit truth table) and keeps at most 12 cuts per node,
 // "a good trade-off between runtime and quality".
+//
+// The merge loop is the hottest code in the rewriting pipeline, so it is
+// word-parallel throughout: leaf positions are computed once per pair while
+// the sorted leaf sets are merged, child functions are re-expressed over the
+// merged leaves with masked-shift don't-care insertions (src/tt/words.h)
+// instead of a loop over 2^k minterms, exact duplicates are rejected through
+// a hash of (leaves, function) before any domination test runs, and the
+// remaining domination tests are prefiltered by the leaf signature.  The
+// original scalar path is retained behind `word_parallel = false` as the
+// reference for equivalence tests and the bench/micro_core speedup
+// measurement.
 #pragma once
 
 #include "tt/truth_table.h"
@@ -25,7 +36,7 @@ struct cut {
     std::array<uint32_t, max_cut_size> leaves{};
     uint8_t num_leaves = 0;
     uint64_t function = 0;  ///< truth table over num_leaves variables
-    uint64_t signature = 0; ///< bloom filter of leaves for fast subset tests
+    uint64_t signature = 0; ///< Bloom filter of leaves for fast subset tests
 
     std::span<const uint32_t> leaf_span() const
     {
@@ -37,18 +48,33 @@ struct cut {
         return truth_table{num_leaves, function};
     }
 
-    /// True if every leaf of `other` is also a leaf of this cut.
+    /// True if every leaf of `other` is also a leaf of this cut.  The
+    /// signature comparison is a Bloom-style prefilter (node ids alias at
+    /// `id & 63`, so it can pass spuriously but never fail spuriously); the
+    /// exact answer comes from a two-pointer walk of the sorted leaf arrays.
     bool dominates(const cut& other) const;
 };
 
 struct cut_enumeration_params {
     uint32_t cut_size = max_cut_size; ///< k (2..6)
     uint32_t cut_limit = 12;          ///< non-trivial cuts kept per node
+    /// Use the word-parallel merge path (default).  The scalar seed path is
+    /// kept for A/B measurement and differential tests; both produce
+    /// identical cut sets.
+    bool word_parallel = true;
 };
 
 struct cut_enumeration_stats {
-    uint64_t total_cuts = 0;
-    uint64_t merged_pairs = 0;
+    uint64_t total_cuts = 0;   ///< cuts stored across all nodes
+    uint64_t merged_pairs = 0; ///< candidate pairs considered
+    /// Exact duplicates rejected by hash.  Word-parallel path only: the
+    /// scalar seed path has no duplicate filter and counts duplicates under
+    /// `dominated_cuts` (a duplicate dominates its twin), so the two paths
+    /// produce identical cut sets but not identical counter splits.
+    uint64_t duplicate_cuts = 0;
+    uint64_t dominated_cuts = 0; ///< merged cuts dropped by a dominating cut
+    uint64_t evicted_cuts = 0;   ///< existing cuts evicted by a new dominator
+                                 ///< (word-parallel path only)
 };
 
 /// Cuts for every live node, indexed by node id; gate nodes end with their

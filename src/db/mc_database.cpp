@@ -81,8 +81,11 @@ xag deserialize_single_output(const std::string& text)
 const mc_database::entry& mc_database::lookup_or_build(
     const truth_table& representative)
 {
-    if (const auto it = entries_.find(representative); it != entries_.end())
+    if (const auto it = entries_.find(representative); it != entries_.end()) {
+        ++hits_;
         return it->second;
+    }
+    ++misses_;
 
     entry e;
     bool built = false;

@@ -38,12 +38,17 @@ public:
     explicit mc_database(mc_database_params params = {}) : params_{params} {}
 
     /// Circuit for a class representative (at most 6 variables); synthesized
-    /// and memoized on first use.
+    /// and memoized on first use.  The entry map is itself the memo layer of
+    /// the hot loop's final stage: a hit is a hash lookup, a miss runs
+    /// exact/heuristic synthesis once per class, ever.
     const entry& lookup_or_build(const truth_table& representative);
 
     size_t size() const { return entries_.size(); }
     uint64_t exact_entries() const { return exact_entries_; }
     uint64_t heuristic_entries() const { return heuristic_entries_; }
+    /// Lookups served from the memoized entries vs. synthesis runs.
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
 
     /// Text serialization (one entry per line).
     void save(std::ostream& os) const;
@@ -67,6 +72,8 @@ private:
     std::unordered_map<truth_table, entry, truth_table_hash> entries_;
     uint64_t exact_entries_ = 0;
     uint64_t heuristic_entries_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
 };
 
 /// Serialize a single-output XAG as a compact token stream (used by the

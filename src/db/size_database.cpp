@@ -8,8 +8,11 @@ namespace mcx {
 const size_database::entry& size_database::lookup_or_build(
     const truth_table& representative)
 {
-    if (const auto it = entries_.find(representative); it != entries_.end())
+    if (const auto it = entries_.find(representative); it != entries_.end()) {
+        ++hits_;
         return it->second;
+    }
+    ++misses_;
 
     entry e;
     const auto exact = exact_size_synthesis(

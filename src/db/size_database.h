@@ -31,10 +31,15 @@ public:
     const entry& lookup_or_build(const truth_table& representative);
 
     size_t size() const { return entries_.size(); }
+    /// Lookups served from the memoized entries vs. synthesis runs.
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
 
 private:
     size_database_params params_;
     std::unordered_map<truth_table, entry, truth_table_hash> entries_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
 };
 
 } // namespace mcx

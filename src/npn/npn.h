@@ -1,12 +1,24 @@
-// Exhaustive NPN canonization for functions of up to 4 variables.
+// Exact NPN canonization for functions of up to 4 variables.
 //
 // NPN equivalence (negate inputs, permute inputs, negate output) is the
 // classification used by classic DAG-aware rewriting (paper ref [1]) and by
 // our generic-size baseline: in an XAG all three operations are free
 // (complemented edges), so a minimal circuit of the NPN representative is a
 // minimal circuit of every class member.
+//
+// Two implementations are provided.  `npn_canonize` walks the same
+// 2 * 2^n * n! candidate space as the brute force, but steps between
+// candidates with single word operations (Gray-code input flips, masked
+// variable swaps) on the packed 64-bit truth table, so each candidate costs
+// O(1) instead of O(2^n * n).  `npn_canonize_baseline` is the original
+// bit-at-a-time search, retained as the reference oracle for tests and for
+// the speedup measurement in bench/micro_core.  Both return the same
+// representative (the minimum truth table of the class); the transforms may
+// differ between implementations when several transforms reach it, and
+// either satisfies f = transform.apply(representative).
 #pragma once
 
+#include "core/lru_cache.h"
 #include "tt/truth_table.h"
 
 #include <array>
@@ -31,6 +43,38 @@ struct npn_result {
 };
 
 /// Smallest truth table in the NPN class of `f` plus the transform back.
+/// Word-parallel exact search (see header comment).
 npn_result npn_canonize(const truth_table& f);
+
+/// Reference oracle: the original exhaustive bit-at-a-time search.  Same
+/// representative as `npn_canonize`, ~two orders of magnitude slower.
+npn_result npn_canonize_baseline(const truth_table& f);
+
+/// Bounded-LRU memoization in front of `npn_canonize` — on real netlists
+/// the same cut functions recur constantly, so canonization becomes a hash
+/// lookup after warm-up.
+class npn_cache {
+public:
+    explicit npn_cache(size_t capacity = lru_cache<int, int>::default_capacity)
+        : cache_{capacity}
+    {
+    }
+
+    /// Reference valid until this entry is evicted (callers consume it
+    /// before the next `canonize` call).
+    const npn_result& canonize(const truth_table& f)
+    {
+        if (const auto* cached = cache_.find(f))
+            return *cached;
+        return cache_.insert(f, npn_canonize(f));
+    }
+
+    uint64_t hits() const { return cache_.hits(); }
+    uint64_t misses() const { return cache_.misses(); }
+    size_t size() const { return cache_.size(); }
+
+private:
+    lru_cache<truth_table, npn_result, truth_table_hash> cache_;
+};
 
 } // namespace mcx

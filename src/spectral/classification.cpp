@@ -276,12 +276,9 @@ classification_result classify_affine(const truth_table& f,
 const classification_result& classification_cache::classify(
     const truth_table& f)
 {
-    if (const auto it = cache_.find(f); it != cache_.end()) {
-        ++hits_;
-        return it->second;
-    }
-    ++misses_;
-    return cache_.emplace(f, classify_affine(f, params_)).first->second;
+    if (const auto* cached = cache_.find(f))
+        return *cached;
+    return cache_.insert(f, classify_affine(f, params_));
 }
 
 } // namespace mcx

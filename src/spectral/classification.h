@@ -19,12 +19,12 @@
 // point of the method: the AND count of f equals the AND count of r.
 #pragma once
 
+#include "core/lru_cache.h"
 #include "tt/truth_table.h"
 
 #include <array>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 namespace mcx {
@@ -75,24 +75,30 @@ classification_result classify_affine(const truth_table& f,
                                       const classification_params& params = {});
 
 /// Memoizing wrapper — the paper's classification cache (§4.1): "no Boolean
-/// function needs to be classified twice".
+/// function needs to be classified twice".  Backed by a bounded LRU so the
+/// footprint stays flat on adversarial workloads; the default capacity is
+/// far above what any real netlist produces, so in practice nothing is ever
+/// evicted and the paper's guarantee holds verbatim.
 class classification_cache {
 public:
-    explicit classification_cache(classification_params params = {})
-        : params_{params} {}
+    explicit classification_cache(
+        classification_params params = {},
+        size_t capacity = lru_cache<int, int>::default_capacity)
+        : params_{params}, cache_{capacity}
+    {
+    }
 
+    /// Reference valid until the entry is evicted (callers consume it
+    /// before the next `classify` call).
     const classification_result& classify(const truth_table& f);
 
-    uint64_t hits() const { return hits_; }
-    uint64_t misses() const { return misses_; }
+    uint64_t hits() const { return cache_.hits(); }
+    uint64_t misses() const { return cache_.misses(); }
     size_t size() const { return cache_.size(); }
 
 private:
     classification_params params_;
-    std::unordered_map<truth_table, classification_result, truth_table_hash>
-        cache_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
+    lru_cache<truth_table, classification_result, truth_table_hash> cache_;
 };
 
 } // namespace mcx

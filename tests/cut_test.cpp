@@ -211,5 +211,71 @@ TEST(cut_enumeration, stats_populated)
     EXPECT_GT(stats.merged_pairs, 0u);
 }
 
+// --- word-parallel path vs. the retained scalar seed path ------------------
+
+TEST(cut_enumeration, word_parallel_matches_scalar_path)
+{
+    std::mt19937_64 rng{7};
+    for (int trial = 0; trial < 6; ++trial) {
+        xag net;
+        std::vector<signal> pool;
+        for (int i = 0; i < 9; ++i)
+            pool.push_back(net.create_pi());
+        for (int i = 0; i < 150; ++i) {
+            const auto a = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+            const auto b = pool[rng() % pool.size()] ^ ((rng() & 1) != 0);
+            pool.push_back((rng() & 1) ? net.create_and(a, b)
+                                       : net.create_xor(a, b));
+        }
+        for (int i = 0; i < 4; ++i)
+            net.create_po(pool[pool.size() - 1 - i]);
+
+        for (const uint32_t k : {2u, 4u, 6u}) {
+            const cut_enumeration_params fast{
+                .cut_size = k, .cut_limit = 12, .word_parallel = true};
+            const cut_enumeration_params scalar{
+                .cut_size = k, .cut_limit = 12, .word_parallel = false};
+            const auto sf = enumerate_cuts(net, fast);
+            const auto ss = enumerate_cuts(net, scalar);
+            ASSERT_EQ(sf.size(), ss.size());
+            for (size_t n = 0; n < sf.size(); ++n) {
+                ASSERT_EQ(sf[n].size(), ss[n].size())
+                    << "node " << n << " k=" << k;
+                for (size_t c = 0; c < sf[n].size(); ++c) {
+                    ASSERT_EQ(sf[n][c].num_leaves, ss[n][c].num_leaves);
+                    ASSERT_TRUE(std::equal(
+                        sf[n][c].leaves.begin(),
+                        sf[n][c].leaves.begin() + sf[n][c].num_leaves,
+                        ss[n][c].leaves.begin()))
+                        << "node " << n << " cut " << c << " k=" << k;
+                    ASSERT_EQ(sf[n][c].function, ss[n][c].function)
+                        << "node " << n << " cut " << c << " k=" << k;
+                    ASSERT_EQ(sf[n][c].signature, ss[n][c].signature);
+                }
+            }
+        }
+    }
+}
+
+TEST(cut_dominates, exact_subset_semantics)
+{
+    const auto make = [](std::initializer_list<uint32_t> leaves) {
+        cut c;
+        c.num_leaves = static_cast<uint8_t>(leaves.size());
+        std::copy(leaves.begin(), leaves.end(), c.leaves.begin());
+        for (const auto l : leaves)
+            c.signature |= uint64_t{1} << (l & 63);
+        return c;
+    };
+    EXPECT_TRUE(make({1, 3}).dominates(make({1, 2, 3})));
+    EXPECT_TRUE(make({1, 2, 3}).dominates(make({1, 2, 3})));
+    EXPECT_FALSE(make({1, 4}).dominates(make({1, 2, 3})));
+    EXPECT_FALSE(make({1, 2, 3}).dominates(make({1, 3})));
+    // Bloom aliasing: 2 and 66 share signature bit 2; the exact two-pointer
+    // walk must still reject the false positive the prefilter lets through.
+    EXPECT_FALSE(make({66}).dominates(make({2, 5})));
+    EXPECT_TRUE(make({66}).dominates(make({5, 66})));
+}
+
 } // namespace
 } // namespace mcx

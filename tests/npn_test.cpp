@@ -89,6 +89,62 @@ TEST(npn_canonize_fn, representative_is_minimal_and_idempotent)
 TEST(npn_canonize_fn, rejects_oversized)
 {
     EXPECT_THROW(npn_canonize(truth_table{5}), std::invalid_argument);
+    EXPECT_THROW(npn_canonize_baseline(truth_table{5}),
+                 std::invalid_argument);
+}
+
+// --- word-parallel canonizer vs. the retained brute-force oracle ----------
+
+TEST(npn_canonize_oracle, exhaustive_up_to_three_vars)
+{
+    for (uint32_t n = 0; n <= 3; ++n) {
+        for (uint64_t bits = 0; bits < (uint64_t{1} << (1u << n)); ++bits) {
+            const truth_table f{n, bits};
+            const auto fast = npn_canonize(f);
+            const auto oracle = npn_canonize_baseline(f);
+            ASSERT_EQ(fast.representative, oracle.representative)
+                << "n=" << n << " f=" << f.to_hex();
+            // The chosen transform may differ on ties, but both must be
+            // valid decompositions of f.
+            ASSERT_EQ(fast.transform.apply(fast.representative), f)
+                << "n=" << n << " f=" << f.to_hex();
+            ASSERT_EQ(oracle.transform.apply(oracle.representative), f)
+                << "n=" << n << " f=" << f.to_hex();
+        }
+    }
+}
+
+TEST(npn_canonize_oracle, randomized_four_vars)
+{
+    std::mt19937_64 rng{97};
+    for (int rep = 0; rep < 300; ++rep) {
+        const auto f = random_tt(4, rng);
+        const auto fast = npn_canonize(f);
+        const auto oracle = npn_canonize_baseline(f);
+        ASSERT_EQ(fast.representative, oracle.representative)
+            << "f=" << f.to_hex();
+        ASSERT_EQ(fast.transform.apply(fast.representative), f)
+            << "f=" << f.to_hex();
+    }
+}
+
+TEST(npn_cache_suite, hit_returns_identical_result)
+{
+    std::mt19937_64 rng{98};
+    npn_cache cache;
+    for (int rep = 0; rep < 50; ++rep) {
+        const auto f = random_tt(4, rng);
+        const auto miss = cache.canonize(f); // copy before the next call
+        const auto& hit = cache.canonize(f);
+        EXPECT_EQ(miss.representative, hit.representative);
+        EXPECT_EQ(miss.transform.perm, hit.transform.perm);
+        EXPECT_EQ(miss.transform.input_negation, hit.transform.input_negation);
+        EXPECT_EQ(miss.transform.output_negation,
+                  hit.transform.output_negation);
+        EXPECT_EQ(hit.representative, npn_canonize(f).representative);
+    }
+    EXPECT_EQ(cache.hits(), 50u);
+    EXPECT_EQ(cache.misses(), 50u);
 }
 
 } // namespace
