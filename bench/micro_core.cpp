@@ -168,6 +168,36 @@ int main()
     mc_database db;
     classification_cache cls_cache;
     const auto round = mc_rewrite_round(net, db, cls_cache);
+
+    // ------------------------- flow-level A/B: batched cone simulation
+    // Same workload (64-bit adder), same warmed database and caches: the
+    // only difference is whether the rewrite loop evaluates all of a
+    // node's cut functions in one union-cone traversal (cone_simulator)
+    // or re-simulates per cut (the PR 1 path).  Minimum of three runs
+    // each; CI gates on the batched path being no slower.
+    double batched_s = 1e300, unbatched_s = 1e300;
+    for (int sample = 0; sample < 3; ++sample) {
+        {
+            auto n64 = gen_adder(64);
+            rewrite_params p;
+            p.batched_simulation = true;
+            const auto r = mc_rewrite_round(n64, db, cls_cache, p);
+            batched_s = std::min(batched_s, r.seconds);
+        }
+        {
+            auto n64 = gen_adder(64);
+            rewrite_params p;
+            p.batched_simulation = false;
+            const auto r = mc_rewrite_round(n64, db, cls_cache, p);
+            unbatched_s = std::min(unbatched_s, r.seconds);
+        }
+    }
+    const double flow_speedup = unbatched_s / batched_s;
+    std::printf("\nrewrite round (adder64, warmed db/cache):\n");
+    std::printf("  batched cone simulation   %8.4f s\n", batched_s);
+    std::printf("  per-cut cone simulation   %8.4f s\n", unbatched_s);
+    std::printf("%-34s %12.2f x\n", "flow/batched_round_speedup",
+                flow_speedup);
     const double cls_hit_rate = round.canon_cache_hit_rate();
     const double db_total =
         static_cast<double>(round.db_hits + round.db_misses);
@@ -215,8 +245,12 @@ int main()
     std::fprintf(json, "  ],\n");
     std::fprintf(json,
                  "  \"speedups\": {\"npn_canonize\": %.2f, "
-                 "\"cut_enumeration\": %.2f},\n",
-                 npn_speedup, cut_speedup);
+                 "\"cut_enumeration\": %.2f, \"batched_round\": %.2f},\n",
+                 npn_speedup, cut_speedup, flow_speedup);
+    std::fprintf(json,
+                 "  \"flow_round\": {\"workload\": \"adder64\", "
+                 "\"batched_seconds\": %.4f, \"unbatched_seconds\": %.4f},\n",
+                 batched_s, unbatched_s);
     std::fprintf(json,
                  "  \"cache\": {\"npn_cached_ns_per_op\": %.2f, "
                  "\"classification_hit_rate\": %.4f, "
@@ -232,15 +266,18 @@ int main()
     std::fclose(json);
     std::printf("\nwrote %s\n", json_path.c_str());
 
-    // Acceptance gates (ISSUE 1): fail loudly if the fast paths regress.
-    if (npn_speedup < 5.0 || cut_speedup < 2.0) {
+    // Acceptance gates (ISSUE 1 + ISSUE 2): fail loudly if the fast paths
+    // regress.  Batched cone simulation must not be slower than the PR 1
+    // per-cut path on the full-round workload.
+    if (npn_speedup < 5.0 || cut_speedup < 2.0 || flow_speedup < 1.0) {
         std::fprintf(stderr,
                      "FAIL: speedup gates not met (npn %.2fx >= 5x, cut "
-                     "%.2fx >= 2x)\n",
-                     npn_speedup, cut_speedup);
+                     "%.2fx >= 2x, batched round %.2fx >= 1x)\n",
+                     npn_speedup, cut_speedup, flow_speedup);
         return 1;
     }
-    std::printf("speedup gates passed (npn %.1fx >= 5x, cut %.1fx >= 2x)\n",
-                npn_speedup, cut_speedup);
+    std::printf("speedup gates passed (npn %.1fx >= 5x, cut %.1fx >= 2x, "
+                "batched round %.2fx >= 1x)\n",
+                npn_speedup, cut_speedup, flow_speedup);
     return 0;
 }

@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (build + ctest) plus the micro-benchmark
-# smoke run.  bench_micro_core exits non-zero if the word-parallel fast
-# paths regress below their speedup gates (npn >= 5x, cut enumeration
-# >= 2x) and emits BENCH_micro_core.json with per-stage ns/op and cache
-# hit rates.
+# CI entry point: tier-1 verify (build + ctest), the micro-benchmark smoke
+# run, and a tools/mcx flow smoke test.
+#
+# bench_micro_core exits non-zero if the word-parallel fast paths regress
+# below their speedup gates (npn >= 5x, cut enumeration >= 2x, batched
+# rewrite round >= 1x vs. the per-cut path) and emits BENCH_micro_core.json
+# with per-stage ns/op, cache hit rates, and the batched-round A/B numbers.
+#
+# The flow smoke test runs `mcx --flow mc+xor` on one generator circuit and
+# on one BENCH file (produced by the tool itself, so the BENCH parser is on
+# the path); mcx exits non-zero when the post-flow equivalence check fails,
+# which gates CI.  The per-pass JSON reports are left in the workspace as
+# artifacts (FLOW_smoke_gen.json / FLOW_smoke_bench.json).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -12,4 +20,12 @@ cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
 ./build/bench_micro_core
-echo "ci.sh: all gates passed"
+
+# Flow smoke: generator input, then BENCH round-trip of the same circuit.
+./build/tools/mcx --flow mc+xor gen:adder:16 \
+    -o build/adder16_opt.bench --report FLOW_smoke_gen.json
+./build/tools/mcx --flow cleanup gen:adder:16 -o build/adder16.bench
+./build/tools/mcx --flow mc+xor build/adder16.bench \
+    -o build/adder16_bench_opt.bench --report FLOW_smoke_bench.json
+echo "ci.sh: all gates passed (JSON artifacts: BENCH_micro_core.json," \
+     "FLOW_smoke_gen.json, FLOW_smoke_bench.json)"

@@ -1,0 +1,92 @@
+#include "core/flow.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace mcx {
+
+namespace {
+
+std::shared_ptr<const pass> make_pass(std::string_view token,
+                                      const flow_params& params)
+{
+    if (token == "mc")
+        return std::make_shared<mc_rewrite_pass>(params.rewrite,
+                                                 params.max_rounds);
+    if (token == "size" || token == "size-baseline")
+        return std::make_shared<size_rewrite_pass>(params.size_rewrite,
+                                                   params.max_rounds);
+    if (token == "xor")
+        return std::make_shared<xor_resynthesis_pass>();
+    if (token == "cleanup")
+        return std::make_shared<cleanup_pass>();
+    throw std::invalid_argument{"make_flow: unknown pass '" +
+                                std::string{token} + "'"};
+}
+
+} // namespace
+
+flow_result run_flow(xag& network, const flow& f, pass_context& ctx)
+{
+    const auto start = std::chrono::steady_clock::now();
+    flow_result result;
+    result.flow_name = f.name;
+    result.before = stats_of(network);
+
+    const uint32_t max_iters =
+        f.params.iterate_until_convergence ? f.params.max_flow_iterations : 1;
+    uint32_t ands = network.num_ands();
+    for (uint32_t iter = 0; iter < max_iters; ++iter) {
+        ++result.iterations;
+        for (const auto& p : f.passes)
+            result.passes.push_back(p->run(network, ctx));
+        const auto ands_now = network.num_ands();
+        if (ands_now >= ands)
+            break;
+        ands = ands_now;
+    }
+
+    result.after = stats_of(network);
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return result;
+}
+
+pass_context_params context_params(const flow_params& params)
+{
+    return {.mc_db = params.rewrite.db,
+            .size_db = params.size_rewrite.db,
+            .classification_iteration_limit =
+                params.rewrite.classification_iteration_limit};
+}
+
+flow make_flow(std::string_view spec, const flow_params& params)
+{
+    flow f;
+    f.name = std::string{spec};
+    f.params = params;
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+        size_t end = begin;
+        // '+' and ',' both separate; "size-baseline" keeps its '-'.
+        while (end < spec.size() && spec[end] != '+' && spec[end] != ',')
+            ++end;
+        const auto token = spec.substr(begin, end - begin);
+        if (!token.empty())
+            f.passes.push_back(make_pass(token, params));
+        if (end == spec.size())
+            break;
+        begin = end + 1;
+    }
+    if (f.passes.empty())
+        throw std::invalid_argument{"make_flow: empty flow spec"};
+    return f;
+}
+
+std::vector<std::string> flow_pass_names()
+{
+    return {"mc", "size-baseline", "xor", "cleanup"};
+}
+
+} // namespace mcx

@@ -1,0 +1,536 @@
+#include "core/pass.h"
+
+#include "core/mffc.h"
+#include "core/xor_resynthesis.h"
+#include "tt/operations.h"
+#include "xag/cleanup.h"
+#include "xag/simulate.h"
+
+#include <chrono>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace mcx {
+
+// ------------------------------------------------------- context accessors
+
+mc_database& pass_context::mc_db()
+{
+    if (external_mc_db_)
+        return *external_mc_db_;
+    if (!mc_db_)
+        mc_db_ = std::make_unique<mc_database>(params_.mc_db);
+    return *mc_db_;
+}
+
+size_database& pass_context::size_db()
+{
+    if (external_size_db_)
+        return *external_size_db_;
+    if (!size_db_)
+        size_db_ = std::make_unique<size_database>(params_.size_db);
+    return *size_db_;
+}
+
+classification_cache& pass_context::classification()
+{
+    if (external_cls_)
+        return *external_cls_;
+    if (!cls_cache_)
+        cls_cache_ = std::make_unique<classification_cache>(
+            classification_params{
+                .iteration_limit = params_.classification_iteration_limit});
+    return *cls_cache_;
+}
+
+npn_cache& pass_context::npn()
+{
+    if (external_npn_)
+        return *external_npn_;
+    if (!npn_cache_)
+        npn_cache_ = std::make_unique<npn_cache>();
+    return *npn_cache_;
+}
+
+namespace {
+
+/// Splice the representative circuit into `dst`, mirroring
+/// affine_transform::apply: input i of the representative reads the parity
+/// of the leaves selected by column i of M^T plus c_i; the output adds the
+/// v-masked leaf parity and the optional complement.  Only XOR gates and
+/// inverters are created around the representative — AND count is exactly
+/// the database entry's (modulo structural hashing savings).
+signal splice_affine(xag& dst, const affine_transform& t,
+                     std::span<const signal> leaves, const xag& repr_circuit)
+{
+    std::vector<signal> repr_inputs(t.num_vars);
+    for (uint32_t i = 0; i < t.num_vars; ++i) {
+        auto acc = dst.get_constant(((t.c >> i) & 1) != 0);
+        for (uint32_t k = 0; k < t.num_vars; ++k)
+            if ((t.mt_column(k) >> i) & 1)
+                acc = dst.create_xor(acc, leaves[k]);
+        repr_inputs[i] = acc;
+    }
+    auto out = insert_network(dst, repr_circuit, repr_inputs)[0];
+    for (uint32_t k = 0; k < t.num_vars; ++k)
+        if ((t.v >> k) & 1)
+            out = dst.create_xor(out, leaves[k]);
+    return out ^ t.output_complement;
+}
+
+/// Splice for the NPN baseline: permutation, input and output complements
+/// are all free on XAG edges.
+signal splice_npn(xag& dst, const npn_transform& t,
+                  std::span<const signal> leaves, const xag& repr_circuit)
+{
+    std::vector<signal> repr_inputs(t.num_vars);
+    for (uint32_t i = 0; i < t.num_vars; ++i)
+        repr_inputs[i] =
+            leaves[t.perm[i]] ^ (((t.input_negation >> i) & 1) != 0);
+    const auto out = insert_network(dst, repr_circuit, repr_inputs)[0];
+    return out ^ t.output_negation;
+}
+
+/// Walk the candidate cone down to `leaves`; verify the computed function
+/// and that `forbidden` (the rewrite root) is not part of the cone.  The
+/// seed-faithful per-cone implementation, used when batched_simulation is
+/// off (A/B reference).
+bool verify_candidate_legacy(const xag& net, signal candidate,
+                             std::span<const uint32_t> leaves,
+                             const truth_table& expected, uint32_t forbidden)
+{
+    // Containment check by DFS.
+    std::vector<uint32_t> stack{candidate.node()};
+    std::unordered_map<uint32_t, uint8_t> visited;
+    for (const auto l : leaves)
+        visited.emplace(l, 1);
+    while (!stack.empty()) {
+        const auto n = stack.back();
+        stack.pop_back();
+        if (!visited.emplace(n, 1).second)
+            continue;
+        if (n == forbidden)
+            return false;
+        if (!net.is_gate(n))
+            continue;
+        stack.push_back(net.fanin0(n).node());
+        stack.push_back(net.fanin1(n).node());
+    }
+    try {
+        const auto tt = cone_function(net, candidate.node(), leaves);
+        return (candidate.complemented() ? ~tt : tt) == expected;
+    } catch (const std::invalid_argument&) {
+        return false;
+    }
+}
+
+/// Batched-path verification: one epoch-stamped traversal computes the
+/// candidate's function word and performs the containment check at once.
+bool verify_candidate(const xag& net, cone_simulator& sim, signal candidate,
+                      std::span<const uint32_t> leaves,
+                      const truth_table& expected, uint32_t forbidden)
+{
+    const auto word =
+        sim.cone_word(net, candidate.node(), leaves, forbidden);
+    if (!word)
+        return false;
+    const auto k = static_cast<uint32_t>(leaves.size());
+    const auto tt = truth_table{k, *word};
+    return (candidate.complemented() ? ~tt : tt) == expected;
+}
+
+/// Direct replacements for cuts whose function collapsed to a constant or a
+/// single leaf (no database needed).
+std::optional<signal> trivial_replacement(xag& net, const support_view& view,
+                                          std::span<const signal> leaf_sigs)
+{
+    if (view.support.empty())
+        return net.get_constant(view.function.get_bit(0));
+    if (view.support.size() == 1) {
+        const auto x = truth_table::projection(1, 0);
+        return leaf_sigs[0] ^ (view.function == ~x);
+    }
+    return std::nullopt;
+}
+
+/// The ONE rewrite loop shared by the proposed method and the size
+/// baseline.  `Strategy` supplies the candidate builder and the cost model
+/// (see mc_strategy / size_strategy below); everything else — leaf
+/// resolution, batched cut-function evaluation, verification, MFFC-gated
+/// commit — is common.
+template <typename Strategy>
+void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
+                      bool allow_zero_gain, bool batched, Strategy& strat)
+{
+    const auto& cuts = ctx.cuts();
+    auto& sim = ctx.simulator();
+
+    std::vector<cone_simulator::leaf_set> resolved; // leaf sets, per cut
+    std::vector<uint64_t> words;                    // batched function words
+    std::vector<uint64_t> chunk_words;
+    std::vector<uint8_t> valid;                     // per-cut validity
+    std::vector<signal> leaf_sigs;
+    std::vector<uint32_t> leaf_nodes;
+
+    for (const auto n : net.topological_order()) {
+        if (!net.is_gate(n) || net.is_dead(n))
+            continue;
+
+        // ---- phase 1: resolve every cut's leaves to live nodes ----------
+        // Leaves replaced earlier in this pass are followed to their live
+        // equivalents; without this, every rewrite would blind its fanout
+        // cones to the freshly created shared logic.  `resolved` is an
+        // index-reused pool: slots keep their capacity across nodes.
+        size_t num_resolved = 0;
+        for (const auto& c : cuts[n]) {
+            if (c.num_leaves < 2 && c.leaves[0] == n)
+                continue; // trivial cut
+            if (resolved.size() == num_resolved)
+                resolved.emplace_back();
+            auto& cut_leaves = resolved[num_resolved];
+            cut_leaves.clear();
+            bool leaves_ok = true;
+            for (const auto l : c.leaf_span()) {
+                const auto live = net.resolve(signal{l, false});
+                if (net.is_dead(live.node()) || live.node() == n) {
+                    leaves_ok = false;
+                    break;
+                }
+                if (live.node() != 0)
+                    cut_leaves.push_back(live.node());
+            }
+            if (!leaves_ok || cut_leaves.empty())
+                continue;
+            std::sort(cut_leaves.begin(), cut_leaves.end());
+            cut_leaves.erase(
+                std::unique(cut_leaves.begin(), cut_leaves.end()),
+                cut_leaves.end());
+            ++stats.cuts_evaluated;
+            ++num_resolved;
+        }
+        if (num_resolved == 0)
+            continue;
+        const std::span<const cone_simulator::leaf_set> active{
+            resolved.data(), num_resolved};
+
+        // ---- phase 2: all cut functions in one union-cone traversal -----
+        // No candidate has been spliced yet for this node, so every
+        // existing cone node keeps its value throughout phase 3: computing
+        // the functions up front is exactly equivalent to the per-cut
+        // re-simulation it replaces.
+        words.assign(active.size(), 0);
+        valid.assign(active.size(), 0);
+        if (batched) {
+            // Chunked so arbitrarily large per-node cut counts work (the
+            // simulator evaluates up to 64 lanes per call).
+            for (size_t base = 0; base < active.size(); base += 64) {
+                const auto count = std::min<size_t>(64, active.size() - base);
+                const auto mask = sim.simulate_cuts(
+                    net, n, active.subspan(base, count), chunk_words);
+                for (size_t j = 0; j < count; ++j) {
+                    words[base + j] = chunk_words[j];
+                    valid[base + j] =
+                        static_cast<uint8_t>((mask >> j) & 1);
+                }
+            }
+        } else {
+            for (size_t i = 0; i < active.size(); ++i) {
+                try {
+                    words[i] = cone_function(net, n, active[i]).word();
+                    valid[i] = 1;
+                } catch (const std::invalid_argument&) {
+                    // no longer a cut of n
+                }
+            }
+        }
+
+        // ---- phase 3: candidate construction and MFFC-gated commit ------
+        signal best{};
+        int64_t best_gain = allow_zero_gain ? -1 : 0;
+        bool have_best = false;
+
+        for (size_t i = 0; i < active.size(); ++i) {
+            if (!valid[i])
+                continue;
+            const auto& cut_leaves = active[i];
+            const auto k = static_cast<uint32_t>(cut_leaves.size());
+            const truth_table tt{k, words[i]};
+
+            const auto view = shrink_to_support(tt);
+            leaf_sigs.clear();
+            leaf_nodes.clear();
+            for (const auto idx : view.support) {
+                leaf_nodes.push_back(cut_leaves[idx]);
+                leaf_sigs.push_back(signal{cut_leaves[idx], false});
+            }
+
+            const auto cost_before = strat.created_cost();
+            std::optional<signal> candidate =
+                trivial_replacement(net, view, leaf_sigs);
+            if (!candidate) {
+                candidate = strat.make_candidate(view.function, leaf_sigs);
+                if (!candidate)
+                    continue;
+            }
+            const auto created = strat.created_cost() - cost_before;
+            ++stats.candidates_built;
+            net.take_ref(*candidate);
+
+            const bool ok =
+                batched ? verify_candidate(net, sim, *candidate, leaf_nodes,
+                                           view.function, n)
+                        : verify_candidate_legacy(net, *candidate, leaf_nodes,
+                                                  view.function, n);
+            if (!ok) {
+                net.release_ref(net.resolve(*candidate));
+                continue;
+            }
+
+            // DAG-aware gain: the candidate's references already pin any
+            // shared nodes, so the MFFC below counts only what would truly
+            // be freed.
+            const int64_t saved = strat.mffc_cost(n, cut_leaves);
+            const int64_t gain = saved - static_cast<int64_t>(created);
+            const bool structurally_new = candidate->node() != n;
+            if (structurally_new && gain > best_gain) {
+                if (have_best)
+                    net.release_ref(net.resolve(best));
+                best = *candidate;
+                best_gain = gain;
+                have_best = true;
+            } else {
+                net.release_ref(net.resolve(*candidate));
+            }
+        }
+
+        if (have_best) {
+            net.substitute(n, best);
+            net.release_ref(net.resolve(best));
+            ++stats.replacements;
+        }
+    }
+}
+
+/// Round boilerplate shared by both rewrite flavors: network shape and
+/// cache-traffic deltas, stage timing, cut enumeration into the context's
+/// arena, then the shared loop above.  `make_strategy(stats)` builds the
+/// flavor's strategy bound to this round's stats object.
+template <typename StrategyFactory>
+round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
+                          uint32_t cut_limit, bool allow_zero_gain,
+                          bool batched, StrategyFactory&& make_strategy)
+{
+    const auto start = std::chrono::steady_clock::now();
+    round_stats stats;
+    auto strat = make_strategy(stats);
+    stats.ands_before = network.num_ands();
+    stats.xors_before = network.num_xors();
+    const auto [cache_hits0, cache_misses0] = strat.cache_traffic();
+    const auto [db_hits0, db_misses0] = strat.db_traffic();
+
+    enumerate_cuts(network, ctx.cuts(),
+                   {.cut_size = cut_size, .cut_limit = cut_limit},
+                   &stats.cut_stats);
+    const auto cuts_done = std::chrono::steady_clock::now();
+    stats.cut_seconds =
+        std::chrono::duration<double>(cuts_done - start).count();
+
+    run_rewrite_loop(network, ctx, stats, allow_zero_gain, batched, strat);
+
+    stats.ands_after = network.num_ands();
+    stats.xors_after = network.num_xors();
+    const auto end = std::chrono::steady_clock::now();
+    stats.rewrite_seconds =
+        std::chrono::duration<double>(end - cuts_done).count();
+    stats.seconds = std::chrono::duration<double>(end - start).count();
+    const auto [cache_hits1, cache_misses1] = strat.cache_traffic();
+    const auto [db_hits1, db_misses1] = strat.db_traffic();
+    stats.canon_cache_hits = cache_hits1 - cache_hits0;
+    stats.canon_cache_misses = cache_misses1 - cache_misses0;
+    stats.db_hits = db_hits1 - db_hits0;
+    stats.db_misses = db_misses1 - db_misses0;
+    return stats;
+}
+
+/// Proposed method: affine classification + AND-minimal database, AND-count
+/// cost model.
+struct mc_strategy {
+    xag& net;
+    mc_database& db;
+    classification_cache& cache;
+    round_stats& stats;
+
+    std::optional<signal> make_candidate(const truth_table& f,
+                                         std::span<const signal> leaves)
+    {
+        const auto& cls = cache.classify(f);
+        if (!cls.success) {
+            ++stats.classify_failures;
+            return std::nullopt;
+        }
+        const auto& entry = db.lookup_or_build(cls.representative);
+        return splice_affine(net, cls.transform, leaves, entry.circuit);
+    }
+    int64_t mffc_cost(uint32_t root, std::span<const uint32_t> leaves) const
+    {
+        return mffc_and_count(net, root, leaves);
+    }
+    uint64_t created_cost() const { return net.num_ands(); }
+    std::pair<uint64_t, uint64_t> cache_traffic() const
+    {
+        return {cache.hits(), cache.misses()};
+    }
+    std::pair<uint64_t, uint64_t> db_traffic() const
+    {
+        return {db.hits(), db.misses()};
+    }
+};
+
+/// Size baseline: NPN canonization + gate-minimal database, unit cost for
+/// AND and XOR.
+struct size_strategy {
+    xag& net;
+    size_database& db;
+    npn_cache& cache;
+    round_stats& stats;
+
+    std::optional<signal> make_candidate(const truth_table& f,
+                                         std::span<const signal> leaves)
+    {
+        const auto& canon = cache.canonize(f);
+        const auto& entry = db.lookup_or_build(canon.representative);
+        return splice_npn(net, canon.transform, leaves, entry.circuit);
+    }
+    int64_t mffc_cost(uint32_t root, std::span<const uint32_t> leaves) const
+    {
+        return mffc_gate_count(net, root, leaves);
+    }
+    uint64_t created_cost() const { return net.num_gates(); }
+    std::pair<uint64_t, uint64_t> cache_traffic() const
+    {
+        return {cache.hits(), cache.misses()};
+    }
+    std::pair<uint64_t, uint64_t> db_traffic() const
+    {
+        return {db.hits(), db.misses()};
+    }
+};
+
+/// The ONE convergence driver: repeat `round` until the cost (AND count or
+/// gate count) stops improving, or `max_rounds`.
+template <typename Round>
+convergence_stats run_until_convergence(xag& network, Round&& round,
+                                        uint32_t max_rounds, bool count_ands)
+{
+    convergence_stats result;
+    for (uint32_t i = 0; i < max_rounds; ++i) {
+        const auto stats = round(network);
+        result.rounds.push_back(stats);
+        const auto before = count_ands
+                                ? stats.ands_before
+                                : stats.ands_before + stats.xors_before;
+        const auto after = count_ands ? stats.ands_after
+                                      : stats.ands_after + stats.xors_after;
+        if (after >= before) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+pass_stats finish_pass(pass_context& ctx, pass_stats ps, const xag& network,
+                       std::chrono::steady_clock::time_point start)
+{
+    ps.after = stats_of(network);
+    ps.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    ctx.history.push_back(ps);
+    return ps;
+}
+
+} // namespace
+
+// ---------------------------------------------------------- round engine
+
+round_stats mc_rewrite_round(xag& network, pass_context& ctx,
+                             const rewrite_params& params)
+{
+    return generic_round(network, ctx, params.cut_size, params.cut_limit,
+                         params.allow_zero_gain, params.batched_simulation,
+                         [&](round_stats& stats) {
+                             return mc_strategy{network, ctx.mc_db(),
+                                                ctx.classification(), stats};
+                         });
+}
+
+round_stats size_rewrite_round(xag& network, pass_context& ctx,
+                               const size_rewrite_params& params)
+{
+    return generic_round(network, ctx, params.cut_size, params.cut_limit,
+                         params.allow_zero_gain, params.batched_simulation,
+                         [&](round_stats& stats) {
+                             return size_strategy{network, ctx.size_db(),
+                                                  ctx.npn(), stats};
+                         });
+}
+
+// ----------------------------------------------------------------- passes
+
+pass_stats mc_rewrite_pass::run(xag& network, pass_context& ctx) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    pass_stats ps;
+    ps.pass_name = name();
+    ps.before = stats_of(network);
+    const auto conv = run_until_convergence(
+        network,
+        [&](xag& net) { return mc_rewrite_round(net, ctx, params_); },
+        max_rounds_, true);
+    ps.rounds = conv.rounds;
+    ps.converged = conv.converged;
+    return finish_pass(ctx, std::move(ps), network, start);
+}
+
+pass_stats size_rewrite_pass::run(xag& network, pass_context& ctx) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    pass_stats ps;
+    ps.pass_name = name();
+    ps.before = stats_of(network);
+    const auto conv = run_until_convergence(
+        network,
+        [&](xag& net) { return size_rewrite_round(net, ctx, params_); },
+        max_rounds_, false);
+    ps.rounds = conv.rounds;
+    ps.converged = conv.converged;
+    return finish_pass(ctx, std::move(ps), network, start);
+}
+
+pass_stats xor_resynthesis_pass::run(xag& network, pass_context& ctx) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    pass_stats ps;
+    ps.pass_name = name();
+    ps.before = stats_of(network);
+    const auto stats = xor_resynthesis(network);
+    ps.xor_blocks = stats.blocks;
+    ps.xor_pairs_extracted = stats.pairs_extracted;
+    ps.converged = true;
+    return finish_pass(ctx, std::move(ps), network, start);
+}
+
+pass_stats cleanup_pass::run(xag& network, pass_context& ctx) const
+{
+    const auto start = std::chrono::steady_clock::now();
+    pass_stats ps;
+    ps.pass_name = name();
+    ps.before = stats_of(network);
+    network = cleanup(network);
+    ps.converged = true;
+    return finish_pass(ctx, std::move(ps), network, start);
+}
+
+} // namespace mcx

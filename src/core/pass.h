@@ -1,0 +1,250 @@
+// The pass framework: every optimization step (AND-minimizing rewrite, the
+// generic size baseline, XOR resynthesis, cleanup) is a `pass` executed
+// against a shared `pass_context`.
+//
+// The context owns everything the hot loop reuses across rounds and across
+// passes — the arena-backed cut storage (src/cut/cut_arena.h), the batched
+// cone simulator (src/xag/cone_batch.h), the LRU canonization caches, and
+// the lazily constructed databases — so each resource is allocated once
+// per flow instead of once per round.  `pass_stats` is the unified sink:
+// one record per executed pass, with per-round breakdowns for the rewrite
+// passes.
+//
+// The rewrite passes share ONE round implementation (pass.cpp): cut
+// enumeration into the arena, batched evaluation of all of a node's cut
+// functions in a single union-cone traversal, canonize/classify through
+// the context caches, database splice, MFFC-gated commit.  mc vs. size
+// differ only in a small strategy bundle (candidate builder + cost model).
+#pragma once
+
+#include "cut/cut_enumeration.h"
+#include "db/mc_database.h"
+#include "db/size_database.h"
+#include "npn/npn.h"
+#include "spectral/classification.h"
+#include "xag/cone_batch.h"
+#include "xag/xag.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcx {
+
+// ------------------------------------------------------------- parameters
+
+struct rewrite_params {
+    uint32_t cut_size = 6;   ///< paper: 6-cuts (64-bit truth tables)
+    uint32_t cut_limit = 12; ///< paper: 12 cuts per node
+    uint64_t classification_iteration_limit = 100'000; ///< paper §5
+    bool allow_zero_gain = false;
+    /// Batch all of a node's cut functions into one union-cone traversal
+    /// (cone_simulator).  The per-cut cone_function path is retained for
+    /// A/B measurement (bench/micro_core) — both produce identical results.
+    bool batched_simulation = true;
+    mc_database_params db;
+};
+
+struct size_rewrite_params {
+    uint32_t cut_size = 4; ///< NPN-4 database
+    uint32_t cut_limit = 12;
+    bool allow_zero_gain = false;
+    bool batched_simulation = true; ///< see rewrite_params
+    size_database_params db;
+};
+
+// ------------------------------------------------------------------ stats
+
+struct round_stats {
+    uint32_t ands_before = 0;
+    uint32_t ands_after = 0;
+    uint32_t xors_before = 0;
+    uint32_t xors_after = 0;
+    uint64_t cuts_evaluated = 0;
+    uint64_t classify_failures = 0;
+    uint64_t candidates_built = 0;
+    uint64_t replacements = 0;
+    double seconds = 0.0;
+
+    // --- per-stage breakdown of the hot loop (filled by every round) ------
+    double cut_seconds = 0.0;     ///< time inside enumerate_cuts
+    double rewrite_seconds = 0.0; ///< time in the canonize/classify/splice pass
+    cut_enumeration_stats cut_stats; ///< merge/dedup/domination counters
+    /// Canonization-cache traffic this round: classification_cache for the
+    /// proposed method, npn_cache for the size baseline.
+    uint64_t canon_cache_hits = 0;
+    uint64_t canon_cache_misses = 0;
+    /// Database traffic this round (lookup served vs. circuit synthesized).
+    uint64_t db_hits = 0;
+    uint64_t db_misses = 0;
+
+    double canon_cache_hit_rate() const
+    {
+        const auto total = canon_cache_hits + canon_cache_misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(canon_cache_hits) /
+                                static_cast<double>(total);
+    }
+};
+
+struct convergence_stats {
+    std::vector<round_stats> rounds;
+    bool converged = false; ///< a round produced no improvement
+
+    uint32_t ands_before() const
+    {
+        return rounds.empty() ? 0 : rounds.front().ands_before;
+    }
+    uint32_t ands_after() const
+    {
+        return rounds.empty() ? 0 : rounds.back().ands_after;
+    }
+    double total_seconds() const
+    {
+        double t = 0;
+        for (const auto& r : rounds)
+            t += r.seconds;
+        return t;
+    }
+};
+
+/// Outcome of one executed pass — the unified stats sink.  Rewrite passes
+/// fill `rounds`; xor_resynthesis fills the xor counters; every pass fills
+/// the network before/after shape and its wall time.
+struct pass_stats {
+    std::string pass_name;
+    xag_stats before{};
+    xag_stats after{};
+    double seconds = 0.0;
+    bool converged = false;
+    std::vector<round_stats> rounds; ///< rewrite passes only
+    uint32_t xor_blocks = 0;         ///< xor_resynthesis only
+    uint32_t xor_pairs_extracted = 0; ///< xor_resynthesis only
+};
+
+// ---------------------------------------------------------------- context
+
+struct pass_context_params {
+    mc_database_params mc_db;
+    size_database_params size_db;
+    uint64_t classification_iteration_limit = 100'000;
+};
+
+/// Shared execution state for a sequence of passes.  Databases and caches
+/// are constructed lazily on first use; external instances (e.g. a database
+/// loaded from disk) can be adopted instead.  All members persist across
+/// rounds, passes, and flows, which is what makes the caches effective and
+/// the arena/simulator allocation-free after warm-up.
+class pass_context {
+public:
+    explicit pass_context(const pass_context_params& params = {})
+        : params_{params}
+    {
+    }
+
+    mc_database& mc_db();
+    size_database& size_db();
+    classification_cache& classification();
+    npn_cache& npn();
+    cut_sets& cuts() { return cuts_; }
+    cone_simulator& simulator() { return simulator_; }
+
+    /// Adopt external components (nullptr restores the owned instance).
+    /// The pointee must outlive the context's use.
+    void adopt(mc_database* db) { external_mc_db_ = db; }
+    void adopt(size_database* db) { external_size_db_ = db; }
+    void adopt(classification_cache* cache) { external_cls_ = cache; }
+    void adopt(npn_cache* cache) { external_npn_ = cache; }
+
+    const pass_context_params& params() const { return params_; }
+
+    /// Every pass executed against this context appends its record here.
+    std::vector<pass_stats> history;
+
+private:
+    pass_context_params params_;
+    std::unique_ptr<mc_database> mc_db_;
+    std::unique_ptr<size_database> size_db_;
+    std::unique_ptr<classification_cache> cls_cache_;
+    std::unique_ptr<npn_cache> npn_cache_;
+    mc_database* external_mc_db_ = nullptr;
+    size_database* external_size_db_ = nullptr;
+    classification_cache* external_cls_ = nullptr;
+    npn_cache* external_npn_ = nullptr;
+    cut_sets cuts_;
+    cone_simulator simulator_;
+};
+
+// ------------------------------------------------------------------ passes
+
+/// One optimization step over a network.  run() appends its pass_stats to
+/// ctx.history and also returns it.
+class pass {
+public:
+    virtual ~pass() = default;
+    virtual std::string_view name() const = 0;
+    virtual pass_stats run(xag& network, pass_context& ctx) const = 0;
+};
+
+/// The paper's AND-minimizing rewrite (affine classification + MC
+/// database), repeated until the AND count stops improving.
+class mc_rewrite_pass final : public pass {
+public:
+    explicit mc_rewrite_pass(rewrite_params params = {},
+                             uint32_t max_rounds = 100)
+        : params_{params}, max_rounds_{max_rounds}
+    {
+    }
+    std::string_view name() const override { return "mc-rewrite"; }
+    pass_stats run(xag& network, pass_context& ctx) const override;
+
+private:
+    rewrite_params params_;
+    uint32_t max_rounds_;
+};
+
+/// The generic size baseline (NPN-4 database, unit cost for AND and XOR),
+/// repeated until the gate count stops improving.
+class size_rewrite_pass final : public pass {
+public:
+    explicit size_rewrite_pass(size_rewrite_params params = {},
+                               uint32_t max_rounds = 100)
+        : params_{params}, max_rounds_{max_rounds}
+    {
+    }
+    std::string_view name() const override { return "size-rewrite"; }
+    pass_stats run(xag& network, pass_context& ctx) const override;
+
+private:
+    size_rewrite_params params_;
+    uint32_t max_rounds_;
+};
+
+/// Paar-style resynthesis of maximal linear (XOR-only) blocks.
+class xor_resynthesis_pass final : public pass {
+public:
+    std::string_view name() const override { return "xor-resynthesis"; }
+    pass_stats run(xag& network, pass_context& ctx) const override;
+};
+
+/// Rebuild a compacted, freshly strashed copy of the network.
+class cleanup_pass final : public pass {
+public:
+    std::string_view name() const override { return "cleanup"; }
+    pass_stats run(xag& network, pass_context& ctx) const override;
+};
+
+// ---------------------------------------------------- round-level engine
+
+/// One round of the proposed method through a context (the single shared
+/// pass-loop implementation; size_rewrite_round uses the same engine).
+round_stats mc_rewrite_round(xag& network, pass_context& ctx,
+                             const rewrite_params& params = {});
+
+/// One round of the generic size baseline through a context.
+round_stats size_rewrite_round(xag& network, pass_context& ctx,
+                               const size_rewrite_params& params = {});
+
+} // namespace mcx

@@ -1,229 +1,23 @@
+// Deprecated shims: the old free-function optimizer API expressed over the
+// pass framework.  Each wrapper builds a pass_context that adopts the
+// caller's database/cache (so persistence semantics are unchanged) and
+// delegates to the single shared engine in pass.cpp.
 #include "core/rewrite.h"
-
-#include "core/mffc.h"
-#include "cut/cut_enumeration.h"
-#include "npn/npn.h"
-#include "tt/operations.h"
-#include "xag/cleanup.h"
-#include "xag/simulate.h"
-
-#include <chrono>
-#include <optional>
-#include <unordered_map>
 
 namespace mcx {
 
 namespace {
 
-/// Splice the representative circuit into `dst`, mirroring
-/// affine_transform::apply: input i of the representative reads the parity
-/// of the leaves selected by column i of M^T plus c_i; the output adds the
-/// v-masked leaf parity and the optional complement.  Only XOR gates and
-/// inverters are created around the representative — AND count is exactly
-/// the database entry's (modulo structural hashing savings).
-signal splice_affine(xag& dst, const affine_transform& t,
-                     std::span<const signal> leaves, const xag& repr_circuit)
+pass_context_params context_params(const rewrite_params& params)
 {
-    std::vector<signal> repr_inputs(t.num_vars);
-    for (uint32_t i = 0; i < t.num_vars; ++i) {
-        auto acc = dst.get_constant(((t.c >> i) & 1) != 0);
-        for (uint32_t k = 0; k < t.num_vars; ++k)
-            if ((t.mt_column(k) >> i) & 1)
-                acc = dst.create_xor(acc, leaves[k]);
-        repr_inputs[i] = acc;
-    }
-    auto out = insert_network(dst, repr_circuit, repr_inputs)[0];
-    for (uint32_t k = 0; k < t.num_vars; ++k)
-        if ((t.v >> k) & 1)
-            out = dst.create_xor(out, leaves[k]);
-    return out ^ t.output_complement;
+    return {.mc_db = params.db,
+            .classification_iteration_limit =
+                params.classification_iteration_limit};
 }
 
-/// Splice for the NPN baseline: permutation, input and output complements
-/// are all free on XAG edges.
-signal splice_npn(xag& dst, const npn_transform& t,
-                  std::span<const signal> leaves, const xag& repr_circuit)
+pass_context_params context_params(const size_rewrite_params& params)
 {
-    std::vector<signal> repr_inputs(t.num_vars);
-    for (uint32_t i = 0; i < t.num_vars; ++i)
-        repr_inputs[i] =
-            leaves[t.perm[i]] ^ (((t.input_negation >> i) & 1) != 0);
-    const auto out = insert_network(dst, repr_circuit, repr_inputs)[0];
-    return out ^ t.output_negation;
-}
-
-/// Walk the candidate cone down to `leaves`; verify the computed function
-/// and that `forbidden` (the rewrite root) is not part of the cone.
-bool verify_candidate(const xag& net, signal candidate,
-                      std::span<const uint32_t> leaves,
-                      const truth_table& expected, uint32_t forbidden)
-{
-    // Containment check by DFS.
-    std::vector<uint32_t> stack{candidate.node()};
-    std::unordered_map<uint32_t, uint8_t> visited;
-    for (const auto l : leaves)
-        visited.emplace(l, 1);
-    while (!stack.empty()) {
-        const auto n = stack.back();
-        stack.pop_back();
-        if (!visited.emplace(n, 1).second)
-            continue;
-        if (n == forbidden)
-            return false;
-        if (!net.is_gate(n))
-            continue;
-        stack.push_back(net.fanin0(n).node());
-        stack.push_back(net.fanin1(n).node());
-    }
-    try {
-        const auto tt = cone_function(net, candidate.node(), leaves);
-        return (candidate.complemented() ? ~tt : tt) == expected;
-    } catch (const std::invalid_argument&) {
-        return false;
-    }
-}
-
-/// Direct replacements for cuts whose function collapsed to a constant or a
-/// single leaf (no database needed).
-std::optional<signal> trivial_replacement(xag& net, const support_view& view,
-                                          std::span<const signal> leaf_sigs)
-{
-    if (view.support.empty())
-        return net.get_constant(view.function.get_bit(0));
-    if (view.support.size() == 1) {
-        const auto x = truth_table::projection(1, 0);
-        return leaf_sigs[0] ^ (view.function == ~x);
-    }
-    return std::nullopt;
-}
-
-struct pass_context {
-    xag& net;
-    const std::vector<std::vector<cut>>& cuts;
-    round_stats& stats;
-};
-
-/// Generic single-pass driver: `make_candidate` builds a replacement signal
-/// for a support-reduced cut function (or returns nullopt), `cone_cost`
-/// measures what a replacement saves.
-template <typename MakeCandidate, typename MffcCost, typename CreatedCost>
-void rewrite_pass(pass_context ctx, uint32_t min_leaves,
-                  MakeCandidate&& make_candidate, MffcCost&& mffc_cost,
-                  CreatedCost&& created_cost, bool allow_zero_gain)
-{
-    auto& net = ctx.net;
-    for (const auto n : net.topological_order()) {
-        if (!net.is_gate(n) || net.is_dead(n))
-            continue;
-        signal best{};
-        int64_t best_gain = allow_zero_gain ? -1 : 0;
-        bool have_best = false;
-
-        for (const auto& c : ctx.cuts[n]) {
-            if (c.num_leaves < min_leaves && c.leaves[0] == n)
-                continue; // trivial cut
-            // Leaves replaced earlier in this pass are followed to their
-            // live equivalents; without this, every rewrite would blind its
-            // fanout cones to the freshly created shared logic.
-            std::vector<uint32_t> cut_leaves;
-            bool leaves_ok = true;
-            for (const auto l : c.leaf_span()) {
-                const auto live = net.resolve(signal{l, false});
-                if (net.is_dead(live.node()) || live.node() == n) {
-                    leaves_ok = false;
-                    break;
-                }
-                if (live.node() != 0)
-                    cut_leaves.push_back(live.node());
-            }
-            if (!leaves_ok || cut_leaves.empty())
-                continue;
-            std::sort(cut_leaves.begin(), cut_leaves.end());
-            cut_leaves.erase(
-                std::unique(cut_leaves.begin(), cut_leaves.end()),
-                cut_leaves.end());
-            ++ctx.stats.cuts_evaluated;
-
-            // Recompute the cut function: earlier replacements in this pass
-            // may have restructured the cone (or invalidated the cut).
-            truth_table tt;
-            try {
-                tt = cone_function(net, n, cut_leaves);
-            } catch (const std::invalid_argument&) {
-                continue; // no longer a cut of n
-            }
-
-            const auto view = shrink_to_support(tt);
-            std::vector<signal> leaf_sigs;
-            std::vector<uint32_t> leaf_nodes;
-            for (const auto idx : view.support) {
-                leaf_nodes.push_back(cut_leaves[idx]);
-                leaf_sigs.push_back(signal{cut_leaves[idx], false});
-            }
-
-            const auto cost_before = created_cost();
-            std::optional<signal> candidate =
-                trivial_replacement(net, view, leaf_sigs);
-            if (!candidate) {
-                candidate = make_candidate(view.function, leaf_sigs);
-                if (!candidate)
-                    continue;
-            }
-            const auto created = created_cost() - cost_before;
-            ++ctx.stats.candidates_built;
-            net.take_ref(*candidate);
-
-            if (!verify_candidate(net, *candidate, leaf_nodes, view.function,
-                                  n)) {
-                net.release_ref(net.resolve(*candidate));
-                continue;
-            }
-
-            // DAG-aware gain: the candidate's references already pin any
-            // shared nodes, so the MFFC below counts only what would truly
-            // be freed.
-            const int64_t saved = mffc_cost(n, cut_leaves);
-            const int64_t gain = saved - static_cast<int64_t>(created);
-            const bool structurally_new =
-                candidate->node() != n;
-            if (structurally_new && gain > best_gain) {
-                if (have_best)
-                    net.release_ref(net.resolve(best));
-                best = *candidate;
-                best_gain = gain;
-                have_best = true;
-            } else {
-                net.release_ref(net.resolve(*candidate));
-            }
-        }
-
-        if (have_best) {
-            net.substitute(n, best);
-            net.release_ref(net.resolve(best));
-            ++ctx.stats.replacements;
-        }
-    }
-}
-
-template <typename Round>
-convergence_stats run_until_convergence(xag& network, Round&& round,
-                                        uint32_t max_rounds, bool count_ands)
-{
-    convergence_stats result;
-    for (uint32_t i = 0; i < max_rounds; ++i) {
-        const auto stats = round(network);
-        result.rounds.push_back(stats);
-        const auto before = count_ands
-                                ? stats.ands_before
-                                : stats.ands_before + stats.xors_before;
-        const auto after = count_ands ? stats.ands_after
-                                      : stats.ands_after + stats.xors_after;
-        if (after >= before) {
-            result.converged = true;
-            break;
-        }
-    }
-    return result;
+    return {.size_db = params.db};
 }
 
 } // namespace
@@ -232,119 +26,39 @@ round_stats mc_rewrite_round(xag& network, mc_database& db,
                              classification_cache& cache,
                              const rewrite_params& params)
 {
-    const auto start = std::chrono::steady_clock::now();
-    round_stats stats;
-    stats.ands_before = network.num_ands();
-    stats.xors_before = network.num_xors();
-    const auto cache_hits0 = cache.hits();
-    const auto cache_misses0 = cache.misses();
-    const auto db_hits0 = db.hits();
-    const auto db_misses0 = db.misses();
-
-    const auto cuts = enumerate_cuts(
-        network, {.cut_size = params.cut_size, .cut_limit = params.cut_limit},
-        &stats.cut_stats);
-    const auto cuts_done = std::chrono::steady_clock::now();
-    stats.cut_seconds =
-        std::chrono::duration<double>(cuts_done - start).count();
-
-    pass_context ctx{network, cuts, stats};
-    rewrite_pass(
-        ctx, 2,
-        [&](const truth_table& f,
-            std::span<const signal> leaves) -> std::optional<signal> {
-            const auto& cls = cache.classify(f);
-            if (!cls.success) {
-                ++stats.classify_failures;
-                return std::nullopt;
-            }
-            const auto& entry = db.lookup_or_build(cls.representative);
-            return splice_affine(network, cls.transform, leaves,
-                                 entry.circuit);
-        },
-        [&](uint32_t root, std::span<const uint32_t> leaves) {
-            return mffc_and_count(network, root, leaves);
-        },
-        [&] { return network.num_ands(); }, params.allow_zero_gain);
-
-    stats.ands_after = network.num_ands();
-    stats.xors_after = network.num_xors();
-    const auto end = std::chrono::steady_clock::now();
-    stats.rewrite_seconds =
-        std::chrono::duration<double>(end - cuts_done).count();
-    stats.seconds = std::chrono::duration<double>(end - start).count();
-    stats.canon_cache_hits = cache.hits() - cache_hits0;
-    stats.canon_cache_misses = cache.misses() - cache_misses0;
-    stats.db_hits = db.hits() - db_hits0;
-    stats.db_misses = db.misses() - db_misses0;
-    return stats;
+    pass_context ctx{context_params(params)};
+    ctx.adopt(&db);
+    ctx.adopt(&cache);
+    return mc_rewrite_round(network, ctx, params);
 }
 
 convergence_stats mc_rewrite(xag& network, mc_database& db,
                              classification_cache& cache,
                              const rewrite_params& params, uint32_t max_rounds)
 {
-    return run_until_convergence(
-        network,
-        [&](xag& net) { return mc_rewrite_round(net, db, cache, params); },
-        max_rounds, true);
+    pass_context ctx{context_params(params)};
+    ctx.adopt(&db);
+    ctx.adopt(&cache);
+    const auto ps = mc_rewrite_pass{params, max_rounds}.run(network, ctx);
+    return {ps.rounds, ps.converged};
 }
 
 convergence_stats mc_rewrite(xag& network, const rewrite_params& params,
                              uint32_t max_rounds)
 {
-    mc_database db{params.db};
-    classification_cache cache{
-        {.iteration_limit = params.classification_iteration_limit}};
-    return mc_rewrite(network, db, cache, params, max_rounds);
+    pass_context ctx{context_params(params)};
+    const auto ps = mc_rewrite_pass{params, max_rounds}.run(network, ctx);
+    return {ps.rounds, ps.converged};
 }
 
 round_stats size_rewrite_round(xag& network, size_database& db,
                                npn_cache& cache,
                                const size_rewrite_params& params)
 {
-    const auto start = std::chrono::steady_clock::now();
-    round_stats stats;
-    stats.ands_before = network.num_ands();
-    stats.xors_before = network.num_xors();
-    const auto cache_hits0 = cache.hits();
-    const auto cache_misses0 = cache.misses();
-    const auto db_hits0 = db.hits();
-    const auto db_misses0 = db.misses();
-
-    const auto cuts = enumerate_cuts(
-        network, {.cut_size = params.cut_size, .cut_limit = params.cut_limit},
-        &stats.cut_stats);
-    const auto cuts_done = std::chrono::steady_clock::now();
-    stats.cut_seconds =
-        std::chrono::duration<double>(cuts_done - start).count();
-
-    pass_context ctx{network, cuts, stats};
-    rewrite_pass(
-        ctx, 2,
-        [&](const truth_table& f,
-            std::span<const signal> leaves) -> std::optional<signal> {
-            const auto& canon = cache.canonize(f);
-            const auto& entry = db.lookup_or_build(canon.representative);
-            return splice_npn(network, canon.transform, leaves,
-                              entry.circuit);
-        },
-        [&](uint32_t root, std::span<const uint32_t> leaves) {
-            return mffc_gate_count(network, root, leaves);
-        },
-        [&] { return network.num_gates(); }, params.allow_zero_gain);
-
-    stats.ands_after = network.num_ands();
-    stats.xors_after = network.num_xors();
-    const auto end = std::chrono::steady_clock::now();
-    stats.rewrite_seconds =
-        std::chrono::duration<double>(end - cuts_done).count();
-    stats.seconds = std::chrono::duration<double>(end - start).count();
-    stats.canon_cache_hits = cache.hits() - cache_hits0;
-    stats.canon_cache_misses = cache.misses() - cache_misses0;
-    stats.db_hits = db.hits() - db_hits0;
-    stats.db_misses = db.misses() - db_misses0;
-    return stats;
+    pass_context ctx{context_params(params)};
+    ctx.adopt(&db);
+    ctx.adopt(&cache);
+    return size_rewrite_round(network, ctx, params);
 }
 
 round_stats size_rewrite_round(xag& network, size_database& db,
@@ -358,18 +72,18 @@ convergence_stats size_rewrite(xag& network, size_database& db,
                                const size_rewrite_params& params,
                                uint32_t max_rounds)
 {
-    npn_cache cache;
-    return run_until_convergence(
-        network,
-        [&](xag& net) { return size_rewrite_round(net, db, cache, params); },
-        max_rounds, false);
+    pass_context ctx{context_params(params)};
+    ctx.adopt(&db);
+    const auto ps = size_rewrite_pass{params, max_rounds}.run(network, ctx);
+    return {ps.rounds, ps.converged};
 }
 
 convergence_stats size_rewrite(xag& network, const size_rewrite_params& params,
                                uint32_t max_rounds)
 {
-    size_database db{params.db};
-    return size_rewrite(network, db, params, max_rounds);
+    pass_context ctx{context_params(params)};
+    const auto ps = size_rewrite_pass{params, max_rounds}.run(network, ctx);
+    return {ps.rounds, ps.converged};
 }
 
 } // namespace mcx

@@ -1,16 +1,20 @@
-// Cut rewriting (paper Algorithm 1 and §4): the proposed AND-minimizing
-// optimizer and the generic-size baseline it is compared against.
+// Legacy entry points of the optimizer — thin, deprecated shims over the
+// pass framework (src/core/pass.h), kept so pre-pass-framework callers
+// still compile.
 //
-// Per node and per 6-feasible cut the local function is computed, reduced to
-// its support, affinely classified, looked up in the database of AND-minimal
-// representative circuits, and spliced back with the free affine interface
-// (XORs / inverters / permutations).  A replacement is committed when it
-// removes more AND gates (MFFC) than it adds (after structural hashing).
-// "One round" is a single topological pass; "repeat until convergence"
-// iterates rounds until the AND count stops improving (paper Tables 1, 2).
+// The actual implementation — cut enumeration into the context's arena,
+// batched cone simulation, affine/NPN canonization through the shared
+// caches, database splice, MFFC-gated commit, and the convergence driver —
+// lives in pass.cpp as ONE loop shared by both the proposed method
+// (mc_rewrite_pass) and the generic size baseline (size_rewrite_pass).
+// New code should construct passes and a pass_context directly, or run a
+// flow (src/core/flow.h); these wrappers only adapt the old signatures.
+//
+// `rewrite_params`, `size_rewrite_params`, `round_stats` and
+// `convergence_stats` moved to pass.h and are re-exported here.
 #pragma once
 
-#include "cut/cut_enumeration.h"
+#include "core/pass.h"
 #include "db/mc_database.h"
 #include "db/size_database.h"
 #include "npn/npn.h"
@@ -18,109 +22,37 @@
 #include "xag/xag.h"
 
 #include <cstdint>
-#include <vector>
 
 namespace mcx {
 
-struct rewrite_params {
-    uint32_t cut_size = 6;   ///< paper: 6-cuts (64-bit truth tables)
-    uint32_t cut_limit = 12; ///< paper: 12 cuts per node
-    uint64_t classification_iteration_limit = 100'000; ///< paper §5
-    bool allow_zero_gain = false;
-    mc_database_params db;
-};
-
-struct round_stats {
-    uint32_t ands_before = 0;
-    uint32_t ands_after = 0;
-    uint32_t xors_before = 0;
-    uint32_t xors_after = 0;
-    uint64_t cuts_evaluated = 0;
-    uint64_t classify_failures = 0;
-    uint64_t candidates_built = 0;
-    uint64_t replacements = 0;
-    double seconds = 0.0;
-
-    // --- per-stage breakdown of the hot loop (filled by every round) ------
-    double cut_seconds = 0.0;     ///< time inside enumerate_cuts
-    double rewrite_seconds = 0.0; ///< time in the canonize/classify/splice pass
-    cut_enumeration_stats cut_stats; ///< merge/dedup/domination counters
-    /// Canonization-cache traffic this round: classification_cache for the
-    /// proposed method, npn_cache for the size baseline.
-    uint64_t canon_cache_hits = 0;
-    uint64_t canon_cache_misses = 0;
-    /// Database traffic this round (lookup served vs. circuit synthesized).
-    uint64_t db_hits = 0;
-    uint64_t db_misses = 0;
-
-    double canon_cache_hit_rate() const
-    {
-        const auto total = canon_cache_hits + canon_cache_misses;
-        return total == 0 ? 0.0
-                          : static_cast<double>(canon_cache_hits) /
-                                static_cast<double>(total);
-    }
-};
-
-struct convergence_stats {
-    std::vector<round_stats> rounds;
-    bool converged = false; ///< a round produced no improvement
-
-    uint32_t ands_before() const
-    {
-        return rounds.empty() ? 0 : rounds.front().ands_before;
-    }
-    uint32_t ands_after() const
-    {
-        return rounds.empty() ? 0 : rounds.back().ands_after;
-    }
-    double total_seconds() const
-    {
-        double t = 0;
-        for (const auto& r : rounds)
-            t += r.seconds;
-        return t;
-    }
-};
-
-/// One pass of the proposed method over `network` (in place).  The database
-/// and classification cache persist across calls — the paper reuses both
-/// "for several rewriting calls".
+/// \deprecated Use mc_rewrite_round(xag&, pass_context&, ...) — this shim
+/// builds a throwaway context adopting `db` and `cache`.
 round_stats mc_rewrite_round(xag& network, mc_database& db,
                              classification_cache& cache,
                              const rewrite_params& params = {});
 
-/// Repeat mc_rewrite_round until no improvement (or `max_rounds`).
+/// \deprecated Use mc_rewrite_pass{params, max_rounds}.run(network, ctx).
 convergence_stats mc_rewrite(xag& network, mc_database& db,
                              classification_cache& cache,
                              const rewrite_params& params = {},
                              uint32_t max_rounds = 100);
 
-/// Convenience overload with a private database and cache.
+/// \deprecated Convenience overload with a private database and cache.
 convergence_stats mc_rewrite(xag& network, const rewrite_params& params = {},
                              uint32_t max_rounds = 100);
 
 // ---------------------------------------------------------------- baseline
 
-struct size_rewrite_params {
-    uint32_t cut_size = 4; ///< NPN-4 database
-    uint32_t cut_limit = 12;
-    bool allow_zero_gain = false;
-    size_database_params db;
-};
-
-/// One pass of the generic size baseline (unit cost for AND and XOR).  The
-/// npn_cache memoizes canonization across calls, mirroring the proposed
-/// method's classification cache.
+/// \deprecated Use size_rewrite_round(xag&, pass_context&, ...).
 round_stats size_rewrite_round(xag& network, size_database& db,
                                npn_cache& cache,
                                const size_rewrite_params& params = {});
 
-/// Convenience overload with a throwaway canonization cache.
+/// \deprecated Convenience overload with a throwaway canonization cache.
 round_stats size_rewrite_round(xag& network, size_database& db,
                                const size_rewrite_params& params = {});
 
-/// Repeat size_rewrite_round until no improvement (or `max_rounds`).
+/// \deprecated Use size_rewrite_pass{params, max_rounds}.run(network, ctx).
 convergence_stats size_rewrite(xag& network, size_database& db,
                                const size_rewrite_params& params = {},
                                uint32_t max_rounds = 100);

@@ -21,33 +21,85 @@ struct linear_row {
     bool constant = false;
 };
 
-/// Expand the XOR cone under `root` down to non-XOR terminals, with
-/// cancellation (a terminal reached an even number of times vanishes).
-linear_row expand_linear(const xag& net, uint32_t root)
-{
-    linear_row row;
-    row.root = root;
-    // Iterative DFS accumulating parity per terminal.
-    std::vector<signal> stack{net.fanin0(root), net.fanin1(root)};
-    while (!stack.empty()) {
-        const auto s = stack.back();
-        stack.pop_back();
-        row.constant ^= s.complemented();
-        if (net.is_xor(s.node())) {
-            stack.push_back(net.fanin0(s.node()));
-            stack.push_back(net.fanin1(s.node()));
-            continue;
-        }
-        // Terminal: AND node, PI, or constant (node 0 contributes nothing).
-        if (s.node() == 0)
-            continue;
-        if (const auto it = row.terms.find(s.node()); it != row.terms.end())
-            row.terms.erase(it);
-        else
-            row.terms.insert(s.node());
+/// Expands XOR cones down to non-XOR terminals with cancellation (a
+/// terminal reached by an even number of paths vanishes).
+///
+/// A terminal's membership is the parity of the number of root-to-terminal
+/// paths, and the row constant is the parity of complemented-edge
+/// traversals over all paths — so instead of enumerating paths (the seed
+/// implementation, exponential on reconvergent XOR structure such as hash
+/// accumulators), propagate path-count parity through the cone in one
+/// topological sweep: each cone node is visited exactly once.
+class linear_expander {
+public:
+    explicit linear_expander(const xag& net) : net_{net}
+    {
+        topo_index_.resize(net.size(), 0);
+        uint32_t i = 0;
+        for (const auto n : net.topological_order())
+            topo_index_[n] = ++i;
+        parity_.resize(net.size(), 0);
+        in_cone_.resize(net.size(), 0);
     }
-    return row;
-}
+
+    linear_row expand(uint32_t root)
+    {
+        linear_row row;
+        row.root = root;
+
+        // Collect the XOR cone (root plus XOR nodes reachable through XOR
+        // fanins) once per root.
+        cone_.clear();
+        cone_.push_back(root);
+        in_cone_[root] = 1;
+        for (size_t i = 0; i < cone_.size(); ++i) {
+            for (const auto fi :
+                 {net_.fanin0(cone_[i]), net_.fanin1(cone_[i])}) {
+                const auto m = fi.node();
+                if (net_.is_xor(m) && !in_cone_[m]) {
+                    in_cone_[m] = 1;
+                    cone_.push_back(m);
+                }
+            }
+        }
+        // Fanins before fanouts globally, so descending topo index
+        // processes every node before its cone fanins.
+        std::sort(cone_.begin(), cone_.end(), [&](uint32_t a, uint32_t b) {
+            return topo_index_[a] > topo_index_[b];
+        });
+
+        parity_[root] = 1;
+        for (const auto n : cone_) {
+            const auto p = parity_[n];
+            parity_[n] = 0; // reset for the next expand() call
+            in_cone_[n] = 0;
+            if (p == 0)
+                continue;
+            for (const auto fi : {net_.fanin0(n), net_.fanin1(n)}) {
+                row.constant ^= fi.complemented();
+                const auto m = fi.node();
+                if (net_.is_xor(m)) {
+                    parity_[m] ^= 1;
+                } else if (m != 0) {
+                    // Terminal: AND node or PI (node 0 contributes nothing).
+                    if (const auto it = row.terms.find(m);
+                        it != row.terms.end())
+                        row.terms.erase(it);
+                    else
+                        row.terms.insert(m);
+                }
+            }
+        }
+        return row;
+    }
+
+private:
+    const xag& net_;
+    std::vector<uint32_t> topo_index_;
+    std::vector<uint8_t> parity_;
+    std::vector<uint8_t> in_cone_;
+    std::vector<uint32_t> cone_;
+};
 
 } // namespace
 
@@ -83,8 +135,9 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
 
     std::vector<linear_row> rows;
     rows.reserve(roots.size());
+    linear_expander expander{network};
     for (const auto r : roots)
-        rows.push_back(expand_linear(network, r));
+        rows.push_back(expander.expand(r));
     stats.blocks = static_cast<uint32_t>(rows.size());
 
     // Original (real-node) terminals per row: the MFFC boundary for the

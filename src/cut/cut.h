@@ -1,0 +1,44 @@
+// The cut record shared by enumeration, storage, and the rewrite engine.
+//
+// A cut of node n is a set of leaves such that every path from n to a PI
+// crosses a leaf; the cut's function is the local Boolean function of n in
+// terms of the leaves.  Cut size is capped at 6 so every cut function fits
+// one 64-bit word.
+#pragma once
+
+#include "tt/truth_table.h"
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mcx {
+
+/// Maximum supported cut size: cut functions are single 64-bit words.
+inline constexpr uint32_t max_cut_size = 6;
+
+/// One cut: sorted leaves plus the cut function of the (uncomplemented) root.
+struct cut {
+    std::array<uint32_t, max_cut_size> leaves{};
+    uint8_t num_leaves = 0;
+    uint64_t function = 0;  ///< truth table over num_leaves variables
+    uint64_t signature = 0; ///< Bloom filter of leaves for fast subset tests
+
+    std::span<const uint32_t> leaf_span() const
+    {
+        return {leaves.data(), num_leaves};
+    }
+
+    truth_table function_tt() const
+    {
+        return truth_table{num_leaves, function};
+    }
+
+    /// True if every leaf of `other` is also a leaf of this cut.  The
+    /// signature comparison is a Bloom-style prefilter (node ids alias at
+    /// `id & 63`, so it can pass spuriously but never fail spuriously); the
+    /// exact answer comes from a two-pointer walk of the sorted leaf arrays.
+    bool dominates(const cut& other) const;
+};
+
+} // namespace mcx

@@ -1,0 +1,66 @@
+// Arena-backed per-node cut storage.
+//
+// Cut enumeration visits nodes in topological order and finalizes each
+// node's cut set before moving on, so the natural layout is one flat pool
+// of cuts plus a (offset, count) span per node — no per-node vector, no
+// per-node allocation, and `clear()` keeps the pool's capacity so a
+// pass_context can reuse one arena across every round of every pass.
+#pragma once
+
+#include "cut/cut.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcx {
+
+class cut_sets {
+public:
+    /// Cuts of node `n` (empty span for dead/unreachable nodes).
+    std::span<const cut> operator[](uint32_t n) const
+    {
+        const auto& s = spans_[n];
+        return {pool_.data() + s.offset, s.count};
+    }
+
+    /// Number of node slots (== network.size() at enumeration time).
+    size_t size() const { return spans_.size(); }
+    /// Cuts of the highest-indexed node.
+    std::span<const cut> back() const
+    {
+        return (*this)[static_cast<uint32_t>(spans_.size() - 1)];
+    }
+
+    /// Total cuts stored across all nodes.
+    size_t total_cuts() const { return pool_.size(); }
+    /// Pool slots allocated (capacity survives clear()).
+    size_t capacity() const { return pool_.capacity(); }
+
+    // ------------------------------------------------- building (enumerator)
+    /// Drop all spans and cuts, keep the pool's memory; resize to `num_nodes`
+    /// node slots.
+    void reset(size_t num_nodes)
+    {
+        pool_.clear();
+        spans_.assign(num_nodes, {});
+    }
+
+    /// Append `cuts` as the cut set of node `n` (each node assigned once).
+    void assign(uint32_t n, std::span<const cut> cuts)
+    {
+        spans_[n] = {static_cast<uint32_t>(pool_.size()),
+                     static_cast<uint32_t>(cuts.size())};
+        pool_.insert(pool_.end(), cuts.begin(), cuts.end());
+    }
+
+private:
+    struct span_ref {
+        uint32_t offset = 0;
+        uint32_t count = 0;
+    };
+    std::vector<cut> pool_;
+    std::vector<span_ref> spans_;
+};
+
+} // namespace mcx

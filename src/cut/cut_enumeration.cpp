@@ -183,22 +183,25 @@ bool cut::dominates(const cut& other) const
     return true;
 }
 
-std::vector<std::vector<cut>> enumerate_cuts(const xag& network,
-                                             const cut_enumeration_params& params,
-                                             cut_enumeration_stats* stats)
+void enumerate_cuts(const xag& network, cut_sets& sets,
+                    const cut_enumeration_params& params,
+                    cut_enumeration_stats* stats)
 {
     if (params.cut_size < 2 || params.cut_size > max_cut_size)
         throw std::invalid_argument{"enumerate_cuts: cut_size must be 2..6"};
     if (params.cut_limit < 1)
         throw std::invalid_argument{"enumerate_cuts: cut_limit must be >= 1"};
+    if (stats)
+        *stats = {}; // counters are per call, never carried over
 
-    std::vector<std::vector<cut>> sets(network.size());
+    sets.reset(network.size());
     std::vector<cut> candidates;
     std::vector<uint64_t> keys; // cut_key per candidate (word-parallel path)
 
     for (const auto n : network.topological_order()) {
         if (network.is_pi(n)) {
-            sets[n].push_back(trivial_cut(n));
+            const auto t = trivial_cut(n);
+            sets.assign(n, {&t, 1});
             continue;
         }
         if (!network.is_gate(n))
@@ -206,8 +209,8 @@ std::vector<std::vector<cut>> enumerate_cuts(const xag& network,
 
         const auto f0 = network.fanin0(n);
         const auto f1 = network.fanin1(n);
-        const auto& set0 = sets[f0.node()];
-        const auto& set1 = sets[f1.node()];
+        const auto set0 = sets[f0.node()];
+        const auto set1 = sets[f1.node()];
 
         candidates.clear();
         keys.clear();
@@ -322,10 +325,18 @@ std::vector<std::vector<cut>> enumerate_cuts(const xag& network,
         if (candidates.size() > params.cut_limit)
             candidates.resize(params.cut_limit);
         candidates.push_back(trivial_cut(n));
-        sets[n] = candidates;
+        sets.assign(n, candidates);
         if (stats)
             stats->total_cuts += candidates.size();
     }
+}
+
+cut_sets enumerate_cuts(const xag& network,
+                        const cut_enumeration_params& params,
+                        cut_enumeration_stats* stats)
+{
+    cut_sets sets;
+    enumerate_cuts(network, sets, params, stats);
     return sets;
 }
 

@@ -16,44 +16,22 @@
 // original scalar path is retained behind `word_parallel = false` as the
 // reference for equivalence tests and the bench/micro_core speedup
 // measurement.
+//
+// Storage is arena-backed (cut_sets, src/cut/cut_arena.h): one flat pool of
+// cuts plus an (offset, count) span per node, instead of a vector of
+// vectors.  The in-place overload reuses the arena's pool across calls, so
+// a rewriting round allocates no per-node cut storage at all after the
+// first round.
 #pragma once
 
-#include "tt/truth_table.h"
+#include "cut/cut.h"
+#include "cut/cut_arena.h"
 #include "xag/xag.h"
 
-#include <array>
 #include <cstdint>
-#include <span>
 #include <vector>
 
 namespace mcx {
-
-/// Maximum supported cut size: cut functions are single 64-bit words.
-inline constexpr uint32_t max_cut_size = 6;
-
-/// One cut: sorted leaves plus the cut function of the (uncomplemented) root.
-struct cut {
-    std::array<uint32_t, max_cut_size> leaves{};
-    uint8_t num_leaves = 0;
-    uint64_t function = 0;  ///< truth table over num_leaves variables
-    uint64_t signature = 0; ///< Bloom filter of leaves for fast subset tests
-
-    std::span<const uint32_t> leaf_span() const
-    {
-        return {leaves.data(), num_leaves};
-    }
-
-    truth_table function_tt() const
-    {
-        return truth_table{num_leaves, function};
-    }
-
-    /// True if every leaf of `other` is also a leaf of this cut.  The
-    /// signature comparison is a Bloom-style prefilter (node ids alias at
-    /// `id & 63`, so it can pass spuriously but never fail spuriously); the
-    /// exact answer comes from a two-pointer walk of the sorted leaf arrays.
-    bool dominates(const cut& other) const;
-};
 
 struct cut_enumeration_params {
     uint32_t cut_size = max_cut_size; ///< k (2..6)
@@ -79,8 +57,16 @@ struct cut_enumeration_stats {
 
 /// Cuts for every live node, indexed by node id; gate nodes end with their
 /// trivial cut {n}.  Nodes that are dead or unreachable have empty sets.
-std::vector<std::vector<cut>> enumerate_cuts(
-    const xag& network, const cut_enumeration_params& params = {},
-    cut_enumeration_stats* stats = nullptr);
+/// `*stats` (when given) is reset at entry — counters never carry over
+/// between calls.
+cut_sets enumerate_cuts(const xag& network,
+                        const cut_enumeration_params& params = {},
+                        cut_enumeration_stats* stats = nullptr);
+
+/// In-place variant: fills `out`, reusing its pool capacity (the
+/// pass_context hot path).
+void enumerate_cuts(const xag& network, cut_sets& out,
+                    const cut_enumeration_params& params = {},
+                    cut_enumeration_stats* stats = nullptr);
 
 } // namespace mcx

@@ -1,0 +1,82 @@
+// Batched word-parallel cone evaluation — the rewrite engine's replacement
+// for per-cut cone_function re-simulation (PR 1 measured that re-simulation
+// as the dominant cost of a rewriting round).
+//
+// All cut functions have at most 6 leaves, so every value is one 64-bit
+// word.  The simulator owns epoch-stamped dense buffers (no per-call
+// unordered_map, no truth_table heap traffic) and evaluates all cuts of one
+// root in a single traversal of the union cone: node values are vectors of
+// C lanes (one lane per cut), leaves override their lane with a projection
+// word, and a per-lane "failed" mask tracks cones that escape their leaf
+// boundary (the batched equivalent of cone_function's
+// `cone escapes the leaf boundary` exception).
+//
+// A lane's value at nodes below that cut's leaves is garbage by design —
+// the leaf override cuts it off before it can reach the root, exactly as
+// the per-cut traversal would never have visited those nodes.
+#pragma once
+
+#include "xag/xag.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mcx {
+
+class cone_simulator {
+public:
+    /// Lanes evaluated per traversal; larger requests are chunked.
+    static constexpr uint32_t max_lanes = 32;
+
+    /// One cut request: sorted, duplicate-free leaf node ids (<= 6).
+    using leaf_set = std::vector<uint32_t>;
+
+    /// Evaluate the function of `root` over each leaf set in `cuts` in one
+    /// traversal per chunk of `max_lanes`.  `out[j]` receives the function
+    /// word of cut j (masked to tt_mask(k_j)); bit j of the returned mask is
+    /// set when lane j is valid.  A lane fails when its cone escapes the
+    /// leaf boundary (reaches a PI that is not one of its leaves) or when it
+    /// contains `forbidden`.
+    uint64_t simulate_cuts(const xag& net, uint32_t root,
+                           std::span<const leaf_set> cuts,
+                           std::vector<uint64_t>& out,
+                           uint32_t forbidden = UINT32_MAX);
+
+    /// Single-cone convenience lane: function word of `root` over `leaves`,
+    /// or nullopt when the cone escapes the boundary / contains `forbidden`.
+    std::optional<uint64_t> cone_word(const xag& net, uint32_t root,
+                                     std::span<const uint32_t> leaves,
+                                     uint32_t forbidden = UINT32_MAX);
+
+    /// Nodes evaluated across all traversals (perf counter).
+    uint64_t nodes_evaluated() const { return nodes_evaluated_; }
+    /// Traversals run (one per root-chunk).
+    uint64_t traversals() const { return traversals_; }
+
+private:
+    void ensure_size(size_t num_nodes);
+    uint32_t run_chunk(const xag& net, uint32_t root,
+                       std::span<const leaf_set> cuts,
+                       std::span<uint64_t> out, uint32_t forbidden);
+
+    // Epoch-stamped per-node state (dense, index = node id).
+    std::vector<uint32_t> leaf_epoch_; ///< stamp for leaf_mask_
+    std::vector<uint32_t> leaf_mask_;  ///< lanes where the node is a leaf
+    std::vector<uint32_t> visit_epoch_;///< stamp for slot_/visited state
+    std::vector<uint32_t> slot_;       ///< index into the lane value pool
+    uint32_t epoch_ = 0;
+
+    // Per-traversal scratch (capacity reused across calls).
+    std::vector<uint32_t> order_;      ///< post-order of the union cone
+    std::vector<uint64_t> lanes_;      ///< values: slot * C + lane
+    std::vector<uint32_t> fail_;       ///< failed-lane mask per slot
+    std::vector<uint64_t> stack_;      ///< DFS stack: (node << 1) | expanded
+    leaf_set single_;                  ///< cone_word's one-lane request
+
+    uint64_t nodes_evaluated_ = 0;
+    uint64_t traversals_ = 0;
+};
+
+} // namespace mcx

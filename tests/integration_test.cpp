@@ -1,11 +1,15 @@
 // End-to-end pipeline tests: generators -> optimizer -> exporters, verified
-// by simulation against software references and by SAT equivalence.
+// by simulation against software references and by SAT equivalence, plus
+// the flow-level equivalence sweep (`mc+xor` over every generator family).
+#include "core/flow.h"
 #include "core/rewrite.h"
 #include "db/mc_database.h"
 #include "gen/aes.h"
 #include "gen/arithmetic.h"
+#include "gen/control.h"
 #include "gen/des.h"
 #include "gen/hashes.h"
+#include "gen/lightweight.h"
 #include "io/bench.h"
 #include "io/bristol.h"
 #include "sat/equivalence.h"
@@ -195,6 +199,77 @@ INSTANTIATE_TEST_SUITE_P(
                       sweep_params{6, 12, false}, sweep_params{6, 4, false},
                       sweep_params{6, 25, false}, sweep_params{4, 8, true},
                       sweep_params{6, 12, true}));
+
+// ------------------------------------------------- flow-level equivalence
+//
+// `mc+xor` over every src/gen/ generator family at small widths: the
+// optimized network must be equivalent to the unoptimized one —
+// exhaustively when the input count allows, by word-parallel random
+// simulation otherwise.
+
+void run_flow_equivalence(xag net, const flow_params& params = {})
+{
+    const auto golden = cleanup(net);
+    pass_context ctx{context_params(params)};
+    const auto result = run_flow(net, make_flow("mc+xor", params), ctx);
+    EXPECT_LE(result.after.num_ands, result.before.num_ands);
+    EXPECT_EQ(result.passes.size(), 2u);
+    auto optimized = cleanup(net);
+    optimized.check_integrity();
+    if (optimized.num_pis() <= 16)
+        EXPECT_TRUE(exhaustive_equal(optimized, golden));
+    else
+        EXPECT_TRUE(random_simulation_equal(optimized, golden, 16));
+}
+
+TEST(flow_equivalence, arithmetic_family)
+{
+    run_flow_equivalence(gen_adder(8));
+    run_flow_equivalence(gen_comparator_lt_unsigned(6));
+    run_flow_equivalence(gen_multiplier(4));
+}
+
+TEST(flow_equivalence, control_family)
+{
+    run_flow_equivalence(gen_decoder(4));
+    run_flow_equivalence(gen_voter(7));
+    run_flow_equivalence(gen_priority_encoder(8));
+}
+
+TEST(flow_equivalence, aes_family)
+{
+    xag net;
+    std::array<signal, 8> in;
+    for (auto& s : in)
+        s = net.create_pi();
+    for (const auto s : aes_sbox_circuit(net, in))
+        net.create_po(s);
+    run_flow_equivalence(std::move(net));
+}
+
+TEST(flow_equivalence, des_family)
+{
+    run_flow_equivalence(gen_des(1));
+}
+
+TEST(flow_equivalence, lightweight_family)
+{
+    run_flow_equivalence(gen_simon(16, 4));
+    run_flow_equivalence(gen_keccak_f(8));
+}
+
+TEST(flow_equivalence, hashes_family)
+{
+    // Full-size compression function: a budgeted flow configuration (3-cuts,
+    // heuristic database, one round) keeps the test affordable while still
+    // exercising the whole mc+xor pipeline at hash scale.
+    flow_params budget;
+    budget.max_rounds = 1;
+    budget.rewrite.cut_size = 3;
+    budget.rewrite.cut_limit = 4;
+    budget.rewrite.db.use_exact = false;
+    run_flow_equivalence(gen_md5(), budget);
+}
 
 } // namespace
 } // namespace mcx

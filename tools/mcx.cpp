@@ -1,0 +1,450 @@
+// mcx — the command-line front end of the optimizer: parse a circuit
+// (BENCH, Bristol fashion, or a built-in generator), run a named flow of
+// passes over one shared pass_context, verify equivalence against the
+// unoptimized network, write the result (BENCH/Bristol/Verilog), and emit
+// a per-pass JSON report.
+//
+//   $ mcx --flow mc+xor circuit.bench -o optimized.bench --report r.json
+//   $ mcx --flow mc gen:adder:64
+//   $ mcx --flow size-baseline --bristol input.txt -o out.txt
+//   $ mcx --list-gens
+//
+// Exit codes: 0 success (equivalence verified), 1 usage/input error,
+// 2 verification failure.
+#include "core/flow.h"
+#include "gen/aes.h"
+#include "gen/arithmetic.h"
+#include "gen/control.h"
+#include "gen/des.h"
+#include "gen/hashes.h"
+#include "gen/lightweight.h"
+#include "io/bench.h"
+#include "io/bristol.h"
+#include "io/verilog.h"
+#include "sat/equivalence.h"
+#include "xag/cleanup.h"
+#include "xag/depth.h"
+#include "xag/verify.h"
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace mcx;
+
+// ------------------------------------------------------------- generators
+
+struct generator_entry {
+    const char* name;
+    const char* usage; ///< e.g. "adder:<bits>"
+    std::function<xag(const std::vector<uint32_t>&)> make;
+};
+
+uint32_t arg_at(const std::vector<uint32_t>& args, size_t i, uint32_t dflt)
+{
+    return i < args.size() ? args[i] : dflt;
+}
+
+xag make_aes_sbox()
+{
+    xag net;
+    std::array<signal, 8> in;
+    for (auto& s : in)
+        s = net.create_pi();
+    for (const auto s : aes_sbox_circuit(net, in))
+        net.create_po(s);
+    return net;
+}
+
+const std::vector<generator_entry>& generators()
+{
+    using A = const std::vector<uint32_t>&;
+    static const std::vector<generator_entry> table = {
+        // arithmetic
+        {"adder", "adder:<bits>", [](A a) { return gen_adder(arg_at(a, 0, 32)); }},
+        {"multiplier", "multiplier:<bits>",
+         [](A a) { return gen_multiplier(arg_at(a, 0, 8)); }},
+        {"square", "square:<bits>", [](A a) { return gen_square(arg_at(a, 0, 8)); }},
+        {"divisor", "divisor:<bits>",
+         [](A a) { return gen_divisor(arg_at(a, 0, 8)); }},
+        {"log2", "log2:<bits>", [](A a) { return gen_log2(arg_at(a, 0, 8)); }},
+        {"sqrt", "sqrt:<bits>", [](A a) { return gen_sqrt(arg_at(a, 0, 8)); }},
+        {"sine", "sine:<bits>", [](A a) { return gen_sine(arg_at(a, 0, 8)); }},
+        {"max", "max:<bits>[:<words>]",
+         [](A a) { return gen_max(arg_at(a, 0, 8), arg_at(a, 1, 4)); }},
+        {"barrel-shifter", "barrel-shifter:<bits>",
+         [](A a) { return gen_barrel_shifter(arg_at(a, 0, 8)); }},
+        {"comparator-lt", "comparator-lt:<bits>",
+         [](A a) { return gen_comparator_lt_unsigned(arg_at(a, 0, 8)); }},
+        {"comparator-leq", "comparator-leq:<bits>",
+         [](A a) { return gen_comparator_leq_unsigned(arg_at(a, 0, 8)); }},
+        {"int2float", "int2float",
+         [](A) { return gen_int2float(); }},
+        // control
+        {"decoder", "decoder:<address-bits>",
+         [](A a) { return gen_decoder(arg_at(a, 0, 4)); }},
+        {"priority-encoder", "priority-encoder:<requests>",
+         [](A a) { return gen_priority_encoder(arg_at(a, 0, 8)); }},
+        {"arbiter", "arbiter:<requests>",
+         [](A a) { return gen_round_robin_arbiter(arg_at(a, 0, 8)); }},
+        {"voter", "voter:<inputs>", [](A a) { return gen_voter(arg_at(a, 0, 7)); }},
+        {"alu-control", "alu-control", [](A) { return gen_alu_control(); }},
+        {"router", "router", [](A) { return gen_xy_router(); }},
+        // crypto
+        {"aes-sbox", "aes-sbox", [](A) { return make_aes_sbox(); }},
+        {"aes128", "aes128", [](A) { return gen_aes128(); }},
+        {"des", "des:<rounds>", [](A a) { return gen_des(arg_at(a, 0, 16)); }},
+        {"des-expanded", "des-expanded:<rounds>",
+         [](A a) { return gen_des_expanded(arg_at(a, 0, 16)); }},
+        {"md5", "md5", [](A) { return gen_md5(); }},
+        {"sha1", "sha1", [](A) { return gen_sha1(); }},
+        {"sha256", "sha256", [](A) { return gen_sha256(); }},
+        {"simon", "simon:<word-bits>[:<rounds>]",
+         [](A a) { return gen_simon(arg_at(a, 0, 16), arg_at(a, 1, 32)); }},
+        {"keccak", "keccak:<lane-bits>",
+         [](A a) { return gen_keccak_f(arg_at(a, 0, 8)); }},
+    };
+    return table;
+}
+
+std::optional<xag> make_generator_circuit(const std::string& spec)
+{
+    // spec = gen:<name>[:<uint>...]
+    std::vector<std::string> parts;
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+        const auto end = spec.find(':', begin);
+        parts.push_back(spec.substr(begin, end == std::string::npos
+                                               ? std::string::npos
+                                               : end - begin));
+        if (end == std::string::npos)
+            break;
+        begin = end + 1;
+    }
+    if (parts.size() < 2 || parts[0] != "gen")
+        return std::nullopt;
+    std::vector<uint32_t> args;
+    for (size_t i = 2; i < parts.size(); ++i)
+        args.push_back(static_cast<uint32_t>(std::stoul(parts[i])));
+    for (const auto& g : generators())
+        if (parts[1] == g.name)
+            return g.make(args);
+    std::fprintf(stderr, "error: unknown generator '%s' (try --list-gens)\n",
+                 parts[1].c_str());
+    return std::nullopt;
+}
+
+// ------------------------------------------------------------------- JSON
+
+void json_xag_stats(FILE* f, const char* key, const xag_stats& s)
+{
+    std::fprintf(f,
+                 "\"%s\": {\"pis\": %u, \"pos\": %u, \"ands\": %u, "
+                 "\"xors\": %u}",
+                 key, s.num_pis, s.num_pos, s.num_ands, s.num_xors);
+}
+
+std::string json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+void write_report(const std::string& path, const std::string& input,
+                  const flow_result& result, bool verified,
+                  const std::string& verify_method)
+{
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write report %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"tool\": \"mcx\",\n  \"flow\": \"%s\",\n",
+                 result.flow_name.c_str());
+    std::fprintf(f, "  \"input\": \"%s\",\n", json_escape(input).c_str());
+    std::fprintf(f, "  ");
+    json_xag_stats(f, "before", result.before);
+    std::fprintf(f, ",\n  ");
+    json_xag_stats(f, "after", result.after);
+    std::fprintf(f, ",\n  \"iterations\": %u,\n  \"total_seconds\": %.4f,\n",
+                 result.iterations, result.seconds);
+    std::fprintf(f, "  \"passes\": [\n");
+    for (size_t i = 0; i < result.passes.size(); ++i) {
+        const auto& p = result.passes[i];
+        std::fprintf(f, "    {\"name\": \"%s\", \"seconds\": %.4f, ",
+                     p.pass_name.c_str(), p.seconds);
+        json_xag_stats(f, "before", p.before);
+        std::fprintf(f, ", ");
+        json_xag_stats(f, "after", p.after);
+        std::fprintf(f, ", \"converged\": %s", p.converged ? "true" : "false");
+        if (p.pass_name == "xor-resynthesis")
+            std::fprintf(f, ", \"blocks\": %u, \"pairs_extracted\": %u",
+                         p.xor_blocks, p.xor_pairs_extracted);
+        if (!p.rounds.empty()) {
+            std::fprintf(f, ", \"rounds\": [\n");
+            for (size_t r = 0; r < p.rounds.size(); ++r) {
+                const auto& rs = p.rounds[r];
+                std::fprintf(
+                    f,
+                    "      {\"ands_before\": %u, \"ands_after\": %u, "
+                    "\"cuts_evaluated\": %llu, \"candidates_built\": %llu, "
+                    "\"replacements\": %llu, \"seconds\": %.4f, "
+                    "\"cut_seconds\": %.4f, \"rewrite_seconds\": %.4f, "
+                    "\"canon_cache_hit_rate\": %.4f, \"db_hits\": %llu, "
+                    "\"db_misses\": %llu}%s\n",
+                    rs.ands_before, rs.ands_after,
+                    static_cast<unsigned long long>(rs.cuts_evaluated),
+                    static_cast<unsigned long long>(rs.candidates_built),
+                    static_cast<unsigned long long>(rs.replacements),
+                    rs.seconds, rs.cut_seconds, rs.rewrite_seconds,
+                    rs.canon_cache_hit_rate(),
+                    static_cast<unsigned long long>(rs.db_hits),
+                    static_cast<unsigned long long>(rs.db_misses),
+                    r + 1 < p.rounds.size() ? "," : "");
+            }
+            std::fprintf(f, "    ]");
+        }
+        std::fprintf(f, "}%s\n", i + 1 < result.passes.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"verified\": %s,\n  \"verify_method\": \"%s\"\n}\n",
+                 verified ? "true" : "false", verify_method.c_str());
+    std::fclose(f);
+}
+
+// -------------------------------------------------------------------- CLI
+
+void usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mcx [options] <input>\n"
+        "  <input>            BENCH file, Bristol file (--bristol), or\n"
+        "                     gen:<name>[:<arg>...] (see --list-gens)\n"
+        "options:\n"
+        "  --flow <spec>      '+'-separated passes: mc, xor,\n"
+        "                     size-baseline, cleanup (default: mc)\n"
+        "  --rounds <n>       max rounds per rewrite pass (default 100)\n"
+        "  --cut-size <k>     cut size 2..6 (default 6; size-baseline 4)\n"
+        "  --cut-limit <l>    cuts kept per node (default 12)\n"
+        "  --zero-gain        accept zero-gain replacements\n"
+        "  --iterate          repeat the flow until AND convergence\n"
+        "  --no-batch         disable batched cone simulation\n"
+        "  -o <file>          write result (.bench/.v/.txt by extension)\n"
+        "  --bristol          Bristol-fashion input (and output)\n"
+        "  --verify <m>       sim (default) | sat | none\n"
+        "  --report <file>    per-pass JSON report\n"
+        "  --seed <n>         random-simulation seed (default 1)\n"
+        "  --list-gens        list built-in generators\n"
+        "  --list-flows       list pass names\n");
+}
+
+struct options {
+    std::string input;
+    std::string output;
+    std::string report;
+    std::string flow_spec = "mc";
+    std::string verify = "sim";
+    bool bristol = false;
+    bool iterate = false;
+    uint64_t seed = 1;
+    flow_params params;
+};
+
+bool ends_with(const std::string& s, const char* suffix)
+{
+    const auto n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        const auto next_number = [&]() -> uint64_t {
+            const char* value = next();
+            try {
+                size_t consumed = 0;
+                const auto n = std::stoull(value, &consumed);
+                if (consumed != std::strlen(value))
+                    throw std::invalid_argument{value};
+                return n;
+            } catch (const std::exception&) {
+                std::fprintf(stderr, "error: %s needs a number, got '%s'\n",
+                             arg.c_str(), value);
+                std::exit(1);
+            }
+        };
+        if (arg == "--flow")
+            opt.flow_spec = next();
+        else if (arg == "--rounds")
+            opt.params.max_rounds = static_cast<uint32_t>(next_number());
+        else if (arg == "--cut-size") {
+            const auto k = static_cast<uint32_t>(next_number());
+            opt.params.rewrite.cut_size = k;
+            opt.params.size_rewrite.cut_size = std::min(k, 4u);
+        } else if (arg == "--cut-limit") {
+            const auto l = static_cast<uint32_t>(next_number());
+            opt.params.rewrite.cut_limit = l;
+            opt.params.size_rewrite.cut_limit = l;
+        } else if (arg == "--zero-gain") {
+            opt.params.rewrite.allow_zero_gain = true;
+            opt.params.size_rewrite.allow_zero_gain = true;
+        } else if (arg == "--iterate")
+            opt.iterate = true;
+        else if (arg == "--no-batch") {
+            opt.params.rewrite.batched_simulation = false;
+            opt.params.size_rewrite.batched_simulation = false;
+        } else if (arg == "-o" || arg == "--output")
+            opt.output = next();
+        else if (arg == "--bristol")
+            opt.bristol = true;
+        else if (arg == "--verify")
+            opt.verify = next();
+        else if (arg == "--report")
+            opt.report = next();
+        else if (arg == "--seed")
+            opt.seed = next_number();
+        else if (arg == "--list-gens") {
+            for (const auto& g : generators())
+                std::printf("gen:%s\n", g.usage);
+            return 0;
+        } else if (arg == "--list-flows") {
+            for (const auto& name : flow_pass_names())
+                std::printf("%s\n", name.c_str());
+            std::printf("(join with '+', e.g. --flow mc+xor)\n");
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+            usage();
+            return 1;
+        } else
+            opt.input = arg;
+    }
+    if (opt.input.empty()) {
+        usage();
+        return 1;
+    }
+    opt.params.iterate_until_convergence = opt.iterate;
+
+    try {
+        // ------------------------------------------------------- read input
+        xag net;
+        if (opt.input.rfind("gen:", 0) == 0) {
+            auto made = make_generator_circuit(opt.input);
+            if (!made)
+                return 1;
+            net = std::move(*made);
+        } else if (opt.bristol || ends_with(opt.input, ".txt") ||
+                   ends_with(opt.input, ".bristol")) {
+            net = read_bristol_file(opt.input);
+            opt.bristol = true;
+        } else {
+            net = read_bench_file(opt.input);
+        }
+        const auto golden = cleanup(net);
+        std::printf("read %s: %u PIs, %u POs, %u AND, %u XOR, "
+                    "mult. depth %u\n",
+                    opt.input.c_str(), net.num_pis(), net.num_pos(),
+                    net.num_ands(), net.num_xors(), and_depth(net));
+
+        // --------------------------------------------------------- run flow
+        const auto f = make_flow(opt.flow_spec, opt.params);
+        pass_context ctx{context_params(opt.params)};
+        const auto result = run_flow(net, f, ctx);
+        for (const auto& p : result.passes)
+            std::printf("  pass %-16s %5u -> %5u AND, %6u -> %6u XOR "
+                        "(%.2fs%s)\n",
+                        p.pass_name.c_str(), p.before.num_ands,
+                        p.after.num_ands, p.before.num_xors, p.after.num_xors,
+                        p.seconds,
+                        p.rounds.empty()
+                            ? ""
+                            : (", " + std::to_string(p.rounds.size()) +
+                               " rounds")
+                                  .c_str());
+
+        auto optimized = cleanup(net);
+
+        // ----------------------------------------------------------- verify
+        bool verified = true;
+        std::string method = "none";
+        if (opt.verify == "sim" || opt.verify == "sat") {
+            if (optimized.num_pis() <= 16) {
+                verified = exhaustive_equal(optimized, golden);
+                method = "exhaustive";
+            } else {
+                verified =
+                    random_simulation_equal(optimized, golden, 64, opt.seed);
+                method = "random-simulation";
+            }
+            if (verified && opt.verify == "sat") {
+                const auto report = sat::check_equivalence(optimized, golden);
+                verified =
+                    report.result == sat::equivalence_result::equivalent;
+                method = "sat";
+            }
+        } else if (opt.verify != "none") {
+            std::fprintf(stderr, "error: unknown --verify mode '%s'\n",
+                         opt.verify.c_str());
+            return 1;
+        }
+
+        if (!opt.report.empty())
+            write_report(opt.report, opt.input, result, verified, method);
+        if (!verified) {
+            std::fprintf(stderr,
+                         "FAIL: optimized network is NOT equivalent (%s)\n",
+                         method.c_str());
+            return 2;
+        }
+
+        // ------------------------------------------------------------ write
+        if (!opt.output.empty()) {
+            if (opt.bristol || ends_with(opt.output, ".txt") ||
+                ends_with(opt.output, ".bristol"))
+                write_bristol_file(optimized, opt.output);
+            else if (ends_with(opt.output, ".v"))
+                write_verilog_file(optimized, opt.output);
+            else
+                write_bench_file(optimized, opt.output);
+            std::printf("wrote %s\n", opt.output.c_str());
+        }
+        std::printf("flow '%s': %u -> %u AND, %u -> %u XOR, mult. depth %u "
+                    "(%.2fs, %u iteration%s; %s)\n",
+                    result.flow_name.c_str(), result.before.num_ands,
+                    optimized.num_ands(), result.before.num_xors,
+                    optimized.num_xors(), and_depth(optimized),
+                    result.seconds, result.iterations,
+                    result.iterations == 1 ? "" : "s",
+                    method == "none" ? "unverified" : "verified");
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
