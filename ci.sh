@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (build + ctest), the micro-benchmark smoke
-# run, and a tools/mcx flow smoke test.
+# run, a tools/mcx flow smoke test, CLI usage checks, and a documentation
+# link check.
 #
 # bench_micro_core exits non-zero if the word-parallel fast paths regress
-# below their speedup gates (npn >= 5x, cut enumeration >= 2x, batched
-# rewrite round >= 1x vs. the per-cut path) and emits BENCH_micro_core.json
-# with per-stage ns/op, cache hit rates, and the batched-round A/B numbers.
+# below their speedup gates (npn >= 5x, cut enumeration >= 2x, classify
+# >= 4x, batched rewrite round >= 1x vs. the per-cut path) and emits
+# BENCH_micro_core.json with per-stage ns/op, cache hit rates, and the
+# A/B numbers (schema: docs/artifacts.md).
 #
 # The flow smoke test runs `mcx --flow mc+xor` on one generator circuit and
 # on one BENCH file (produced by the tool itself, so the BENCH parser is on
@@ -27,5 +29,52 @@ cmake --build build -j"$(nproc)"
 ./build/tools/mcx --flow cleanup gen:adder:16 -o build/adder16.bench
 ./build/tools/mcx --flow mc+xor build/adder16.bench \
     -o build/adder16_bench_opt.bench --report FLOW_smoke_bench.json
+
+# CLI usage smoke: --help exits 0 and documents every flag the README
+# quickstart uses; an unknown flag fails with a pointed message, not a
+# usage dump.
+help_text=$(./build/tools/mcx --help)
+for flag in --flow --iterate --rounds --cut-size --cut-limit --zero-gain \
+            --verify --report --seed --no-batch --classify-baseline \
+            --bristol --output --list-gens --list-flows; do
+    grep -qe "$flag" <<<"$help_text" || {
+        echo "ci.sh: mcx --help does not mention $flag" >&2
+        exit 1
+    }
+done
+if unknown_msg=$(./build/tools/mcx --definitely-not-a-flag 2>&1); then
+    echo "ci.sh: mcx accepted an unknown flag" >&2
+    exit 1
+fi
+grep -q "unknown option" <<<"$unknown_msg" || {
+    echo "ci.sh: mcx unknown-flag message regressed" >&2
+    exit 1
+}
+
+# Documentation checks: every file under docs/ is reachable from
+# README.md, and no markdown file references a relative path that does
+# not exist.
+docs_failed=0
+for doc in docs/*.md; do
+    if ! grep -Fq "($doc)" README.md; then
+        echo "ci.sh: $doc is not referenced from README.md" >&2
+        docs_failed=1
+    fi
+done
+for file in README.md docs/*.md; do
+    dir=$(dirname "$file")
+    while IFS= read -r link; do
+        case "$link" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        target="$dir/${link%%#*}"
+        if [ ! -e "$target" ]; then
+            echo "ci.sh: dead link '$link' in $file" >&2
+            docs_failed=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done
+[ "$docs_failed" -eq 0 ] || exit 1
+
 echo "ci.sh: all gates passed (JSON artifacts: BENCH_micro_core.json," \
      "FLOW_smoke_gen.json, FLOW_smoke_bench.json)"

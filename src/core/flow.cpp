@@ -58,7 +58,9 @@ pass_context_params context_params(const flow_params& params)
     return {.mc_db = params.rewrite.db,
             .size_db = params.size_rewrite.db,
             .classification_iteration_limit =
-                params.rewrite.classification_iteration_limit};
+                params.rewrite.classification_iteration_limit,
+            .classification_word_parallel =
+                params.rewrite.classification_word_parallel};
 }
 
 flow make_flow(std::string_view spec, const flow_params& params)

@@ -40,7 +40,8 @@ classification_cache& pass_context::classification()
     if (!cls_cache_)
         cls_cache_ = std::make_unique<classification_cache>(
             classification_params{
-                .iteration_limit = params_.classification_iteration_limit});
+                .iteration_limit = params_.classification_iteration_limit,
+                .word_parallel = params_.classification_word_parallel});
     return *cls_cache_;
 }
 

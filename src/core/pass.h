@@ -39,6 +39,10 @@ struct rewrite_params {
     uint32_t cut_size = 6;   ///< paper: 6-cuts (64-bit truth tables)
     uint32_t cut_limit = 12; ///< paper: 12 cuts per node
     uint64_t classification_iteration_limit = 100'000; ///< paper §5
+    /// Classify cut functions with the packed-spectrum engine; false keeps
+    /// the scalar classify_affine_baseline on the hot path (A/B switch,
+    /// identical results — see classification_params::word_parallel).
+    bool classification_word_parallel = true;
     bool allow_zero_gain = false;
     /// Batch all of a node's cut functions into one union-cone traversal
     /// (cone_simulator).  The per-cut cone_function path is retained for
@@ -130,6 +134,7 @@ struct pass_context_params {
     mc_database_params mc_db;
     size_database_params size_db;
     uint64_t classification_iteration_limit = 100'000;
+    bool classification_word_parallel = true;
 };
 
 /// Shared execution state for a sequence of passes.  Databases and caches

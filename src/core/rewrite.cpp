@@ -12,7 +12,9 @@ pass_context_params context_params(const rewrite_params& params)
 {
     return {.mc_db = params.db,
             .classification_iteration_limit =
-                params.classification_iteration_limit};
+                params.classification_iteration_limit,
+            .classification_word_parallel =
+                params.classification_word_parallel};
 }
 
 pass_context_params context_params(const size_rewrite_params& params)

@@ -3,10 +3,9 @@
 #include "core/mffc.h"
 
 #include <algorithm>
-#include <map>
+#include <bit>
 #include <queue>
 #include <unordered_map>
-#include <set>
 #include <vector>
 
 namespace mcx {
@@ -14,11 +13,67 @@ namespace mcx {
 namespace {
 
 /// A linear block root expressed over terminals: value = parity of the
-/// terminal node values in `terms`, complemented if `constant`.
+/// terminal node values in `terms` (sorted ascending), complemented if
+/// `constant`.
 struct linear_row {
     uint32_t root = 0;
-    std::set<uint32_t> terms;
+    std::vector<uint32_t> terms;
     bool constant = false;
+};
+
+/// Packed bitset rows over a dense term-id space (remapped terminal ids
+/// first, planned pair ids above them), one row per linear block that
+/// takes part in pair extraction.  Replaces the per-row std::set:
+/// membership is one bit test, the expander's XOR-cancellation is one
+/// flip, and the ascending iteration order the chain rebuild relies on
+/// falls out of the word scan.  All rows live in one flat pool sized
+/// once, and the same bits flow from the pairing loop into the chain
+/// rebuild — no per-step container churn.
+class packed_rows {
+public:
+    packed_rows(size_t num_rows, size_t id_limit)
+        : stride_{(id_limit + 63) / 64}, pool_(num_rows * stride_, 0)
+    {
+    }
+
+    bool test(uint32_t row, uint32_t id) const
+    {
+        return (word(row, id) >> (id & 63)) & 1;
+    }
+
+    void insert(uint32_t row, uint32_t id)
+    {
+        word(row, id) |= uint64_t{1} << (id & 63);
+    }
+
+    void erase(uint32_t row, uint32_t id)
+    {
+        word(row, id) &= ~(uint64_t{1} << (id & 63));
+    }
+
+    /// Visit the row's term ids in ascending order (the std::set order the
+    /// seed implementation iterated in).
+    template <typename F>
+    void for_each(uint32_t row, F&& f) const
+    {
+        const uint64_t* words = pool_.data() + row * stride_;
+        for (size_t i = 0; i < stride_; ++i)
+            for (uint64_t w = words[i]; w != 0; w &= w - 1)
+                f(static_cast<uint32_t>(64 * i + std::countr_zero(w)));
+    }
+
+private:
+    uint64_t& word(uint32_t row, uint32_t id)
+    {
+        return pool_[row * stride_ + (id >> 6)];
+    }
+    const uint64_t& word(uint32_t row, uint32_t id) const
+    {
+        return pool_[row * stride_ + (id >> 6)];
+    }
+
+    size_t stride_;
+    std::vector<uint64_t> pool_;
 };
 
 /// Expands XOR cones down to non-XOR terminals with cancellation (a
@@ -29,7 +84,9 @@ struct linear_row {
 /// traversals over all paths — so instead of enumerating paths (the seed
 /// implementation, exponential on reconvergent XOR structure such as hash
 /// accumulators), propagate path-count parity through the cone in one
-/// topological sweep: each cone node is visited exactly once.
+/// topological sweep: each cone node is visited exactly once.  Terminal
+/// membership itself is one shared scratch bitset (flip on every arrival,
+/// survivors collected and reset afterwards) instead of set insert/erase.
 class linear_expander {
 public:
     explicit linear_expander(const xag& net) : net_{net}
@@ -40,6 +97,7 @@ public:
             topo_index_[n] = ++i;
         parity_.resize(net.size(), 0);
         in_cone_.resize(net.size(), 0);
+        term_bit_.resize((net.size() + 63) / 64, 0);
     }
 
     linear_row expand(uint32_t root)
@@ -68,6 +126,7 @@ public:
             return topo_index_[a] > topo_index_[b];
         });
 
+        touched_.clear();
         parity_[root] = 1;
         for (const auto n : cone_) {
             const auto p = parity_[n];
@@ -82,14 +141,20 @@ public:
                     parity_[m] ^= 1;
                 } else if (m != 0) {
                     // Terminal: AND node or PI (node 0 contributes nothing).
-                    if (const auto it = row.terms.find(m);
-                        it != row.terms.end())
-                        row.terms.erase(it);
-                    else
-                        row.terms.insert(m);
+                    term_bit_[m >> 6] ^= uint64_t{1} << (m & 63);
+                    touched_.push_back(m);
                 }
             }
         }
+        // Survivors (odd path parity) in ascending order; reset the scratch.
+        std::sort(touched_.begin(), touched_.end());
+        touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                       touched_.end());
+        for (const auto m : touched_)
+            if ((term_bit_[m >> 6] >> (m & 63)) & 1) {
+                row.terms.push_back(m);
+                term_bit_[m >> 6] &= ~(uint64_t{1} << (m & 63));
+            }
         return row;
     }
 
@@ -98,7 +163,9 @@ private:
     std::vector<uint32_t> topo_index_;
     std::vector<uint8_t> parity_;
     std::vector<uint8_t> in_cone_;
+    std::vector<uint64_t> term_bit_; ///< scratch terminal-parity bitset
     std::vector<uint32_t> cone_;
+    std::vector<uint32_t> touched_;
 };
 
 } // namespace
@@ -107,6 +174,7 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
 {
     xor_resynthesis_stats stats;
     stats.xors_before = network.num_xors();
+    const uint32_t base_size = network.size(); // term ids below are real
 
     // Block roots: XOR nodes consumed by an AND gate or a primary output.
     // Interior XOR nodes (all fanouts are XOR gates feeding the same
@@ -140,28 +208,66 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
         rows.push_back(expander.expand(r));
     stats.blocks = static_cast<uint32_t>(rows.size());
 
-    // Original (real-node) terminals per row: the MFFC boundary for the
-    // per-row gain decision below.
-    std::vector<std::vector<uint32_t>> original_terms(rows.size());
-    for (size_t r = 0; r < rows.size(); ++r)
-        original_terms[r].assign(rows[r].terms.begin(), rows[r].terms.end());
-
     // Paar's greedy algorithm on the whole system: extract the most common
     // terminal pair as a new shared term until no pair repeats.  Pair
     // counts are maintained incrementally (rebuilding them per extraction
     // is quadratic and intractable on hash-sized linear systems), with a
     // lazily-invalidated max-heap selecting the next pair.
+    //
+    // Pairing works in a DENSE id space: the distinct terminals of the
+    // narrow rows get ids [0, num_terms) in ascending node order, planned
+    // pair ids follow from num_terms — so the bitset rows span only the
+    // ids that can actually occur instead of the whole network, and only
+    // narrow rows get a bitset at all.  The mapping is monotone, so pair
+    // ordering, heap tie-breaking, and the ascending chain-rebuild scan
+    // are unchanged from the node-id formulation.
     struct planned_pair {
-        uint32_t a, b;   ///< term ids (node ids or planned ids)
-        uint32_t id;     ///< id of the new term
+        uint32_t a, b;   ///< dense term ids (terminal or earlier planned)
+        uint32_t id;     ///< dense id of the new term
     };
     std::vector<planned_pair> plan;
-    uint32_t next_term_id = network.size(); // ids above nodes = planned
 
     // Rows beyond this width are emitted as plain chains: pairing work is
     // quadratic in the row width and the widest rows (hash-function
     // accumulators with hundreds of terms) contribute the least sharing.
     constexpr size_t max_pairing_width = 16;
+
+    const std::vector<uint8_t> narrow = [&] {
+        std::vector<uint8_t> flags(rows.size(), 0);
+        for (size_t r = 0; r < rows.size(); ++r)
+            flags[r] = rows[r].terms.size() <= max_pairing_width;
+        return flags;
+    }();
+    std::vector<uint32_t> slot(rows.size(), 0); // narrow row -> bitset row
+    uint32_t num_narrow = 0;
+    for (size_t r = 0; r < rows.size(); ++r)
+        if (narrow[r])
+            slot[r] = num_narrow++;
+
+    // term_of: dense id -> node id (ascending); dense_of: node id -> dense.
+    std::vector<uint32_t> term_of;
+    size_t narrow_instances = 0;
+    for (size_t r = 0; r < rows.size(); ++r)
+        if (narrow[r]) {
+            narrow_instances += rows[r].terms.size();
+            term_of.insert(term_of.end(), rows[r].terms.begin(),
+                           rows[r].terms.end());
+        }
+    std::sort(term_of.begin(), term_of.end());
+    term_of.erase(std::unique(term_of.begin(), term_of.end()),
+                  term_of.end());
+    const auto num_terms = static_cast<uint32_t>(term_of.size());
+    std::vector<uint32_t> dense_of(base_size, 0);
+    for (uint32_t d = 0; d < num_terms; ++d)
+        dense_of[term_of[d]] = d;
+    uint32_t next_term_id = num_terms; // dense ids above terminals = planned
+
+    // Every extraction removes two term instances per affected row (>= 2
+    // rows) and mints exactly one new id, so the planned-id space is
+    // bounded by half the narrow rows' initial term instances.
+    const size_t id_limit = num_terms + narrow_instances / 2 + 1;
+
+    packed_rows bits{num_narrow, id_limit};
 
     using term_pair = std::pair<uint32_t, uint32_t>;
     struct pair_hash {
@@ -186,13 +292,14 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
     };
 
     for (uint32_t r = 0; r < rows.size(); ++r) {
-        if (rows[r].terms.size() > max_pairing_width)
+        if (!narrow[r])
             continue;
-        std::vector<uint32_t> t(rows[r].terms.begin(), rows[r].terms.end());
+        const auto& t = rows[r].terms;
         for (size_t i = 0; i < t.size(); ++i) {
-            rows_of_term[t[i]].push_back(r);
+            bits.insert(slot[r], dense_of[t[i]]);
+            rows_of_term[dense_of[t[i]]].push_back(r);
             for (size_t j = i + 1; j < t.size(); ++j)
-                bump(t[i], t[j], 1);
+                bump(dense_of[t[i]], dense_of[t[j]], 1);
         }
     }
 
@@ -217,65 +324,74 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
         ++stats.pairs_extracted;
 
         for (const auto r : rows_of_term[a]) {
-            auto& terms = rows[r].terms;
-            if (!terms.count(a) || !terms.count(b))
+            if (!bits.test(slot[r], a) || !bits.test(slot[r], b))
                 continue;
             // Update counts for every other term of this row.
-            for (const auto t : terms)
+            bits.for_each(slot[r], [&](uint32_t t) {
                 if (t != a && t != b) {
                     bump(a, t, -1);
                     bump(b, t, -1);
                     bump(id, t, +1);
                 }
+            });
             bump(a, b, -1);
-            terms.erase(a);
-            terms.erase(b);
-            terms.insert(id);
+            bits.erase(slot[r], a);
+            bits.erase(slot[r], b);
+            bits.insert(slot[r], id);
             rows_of_term[id].push_back(r);
         }
     }
 
     // Pin every real terminal: substitution cascades below may restructure
     // later rows' old cones and would otherwise free terminals before
-    // their new chains are built.
-    std::set<uint32_t> protected_terms;
-    for (const auto& row : rows)
-        for (const auto term : row.terms)
-            if (term < network.size())
-                protected_terms.insert(term);
-    for (const auto& p : plan) {
-        if (p.a < network.size())
-            protected_terms.insert(p.a);
-        if (p.b < network.size())
-            protected_terms.insert(p.b);
+    // their new chains are built.  Flags instead of a set; the take/release
+    // sweeps walk them in the same ascending order.
+    std::vector<uint8_t> is_protected(base_size, 0);
+    for (uint32_t r = 0; r < rows.size(); ++r) {
+        if (narrow[r])
+            bits.for_each(slot[r], [&](uint32_t term) {
+                if (term < num_terms)
+                    is_protected[term_of[term]] = 1;
+            });
+        else
+            for (const auto term : rows[r].terms)
+                is_protected[term] = 1;
     }
-    for (const auto term : protected_terms)
-        network.take_ref(signal{term, false});
+    for (const auto& p : plan) {
+        if (p.a < num_terms)
+            is_protected[term_of[p.a]] = 1;
+        if (p.b < num_terms)
+            is_protected[term_of[p.b]] = 1;
+    }
+    for (uint32_t term = 0; term < base_size; ++term)
+        if (is_protected[term])
+            network.take_ref(signal{term, false});
 
     // Materialize: planned pair gates first, then one XOR chain per row.
     // Terminals merged away by cascades are followed via resolve().
-    std::map<uint32_t, signal> term_signal;
+    std::vector<signal> planned_signal(plan.size());
     const auto signal_of = [&](uint32_t term) {
-        if (const auto it = term_signal.find(term); it != term_signal.end())
-            return network.resolve(it->second);
-        return network.resolve(signal{term, false});
+        if (term >= num_terms)
+            return network.resolve(planned_signal[term - num_terms]);
+        return network.resolve(signal{term_of[term], false});
     };
     for (const auto& p : plan) {
         const auto g = network.create_xor(signal_of(p.a), signal_of(p.b));
-        term_signal[p.id] = g;
+        planned_signal[p.id - num_terms] = g;
         network.take_ref(g);
     }
 
-    for (size_t r = 0; r < rows.size(); ++r) {
+    for (uint32_t r = 0; r < rows.size(); ++r) {
         const auto& row = rows[r];
         if (network.is_dead(row.root))
             continue; // collapsed by an earlier substitution in this pass
-        if (row.terms.size() > max_pairing_width)
+        if (!narrow[r])
             continue; // wide accumulators keep their existing trees
         const auto xors_before_row = network.num_xors();
         auto acc = network.get_constant(row.constant);
-        for (const auto term : row.terms)
+        bits.for_each(slot[r], [&](uint32_t term) {
             acc = network.create_xor(acc, signal_of(term));
+        });
         const auto created = network.num_xors() - xors_before_row;
         const auto resolved = network.resolve(acc);
         if (resolved.node() == row.root)
@@ -285,8 +401,8 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
         // costs (after strashing) vs. the XOR gates exclusively owned by
         // the old cone (the chain's references pin anything shared).
         const auto freed =
-            mffc_gate_count(network, row.root, original_terms[r]) -
-            mffc_and_count(network, row.root, original_terms[r]);
+            mffc_gate_count(network, row.root, row.terms) -
+            mffc_and_count(network, row.root, row.terms);
         if (created <= freed) {
             network.substitute(row.root, resolved);
             network.release_ref(network.resolve(resolved));
@@ -299,9 +415,10 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
     // on a node that was merged away afterwards must not be released on the
     // merge survivor (that would steal one of its real references).
     for (const auto& p : plan)
-        network.release_ref(term_signal.at(p.id));
-    for (const auto term : protected_terms)
-        network.release_ref(signal{term, false});
+        network.release_ref(planned_signal[p.id - num_terms]);
+    for (uint32_t term = 0; term < base_size; ++term)
+        if (is_protected[term])
+            network.release_ref(signal{term, false});
 
     stats.xors_after = network.num_xors();
     return stats;

@@ -59,6 +59,13 @@ struct affine_transform {
 
 struct classification_params {
     uint64_t iteration_limit = 100'000; ///< candidate evaluations (paper §5)
+    /// Run the packed-spectrum engine (src/tt/spectrum_words.h): identical
+    /// search tree, candidate order, and iteration accounting as the scalar
+    /// baseline, but candidate blocks are built, signed, and compared a
+    /// word at a time.  false selects classify_affine_baseline — the A/B
+    /// switch used by bench_micro_core and by the exhaustive agreement
+    /// tests.
+    bool word_parallel = true;
 };
 
 struct classification_result {
@@ -73,6 +80,15 @@ struct classification_result {
 /// identity before rewriting, making the optimizer sound by construction.
 classification_result classify_affine(const truth_table& f,
                                       const classification_params& params = {});
+
+/// The original scalar lexicographic-maximum DFS, retained verbatim as the
+/// reference oracle (the npn_canonize_baseline pattern): tests require
+/// exhaustive agreement with the word-parallel engine up to 4 inputs and
+/// randomized agreement at 5-6 inputs, and bench_micro_core gates the
+/// engine at >= 4x this implementation on the cold-cache workload.
+classification_result
+classify_affine_baseline(const truth_table& f,
+                         const classification_params& params = {});
 
 /// Memoizing wrapper — the paper's classification cache (§4.1): "no Boolean
 /// function needs to be classified twice".  Backed by a bounded LRU so the

@@ -1,0 +1,238 @@
+// Word-parallel primitives on packed Rademacher-Walsh spectra.
+//
+// A spectrum of a function on n <= 6 variables has 2^n coefficients, each
+// bounded by 2^n = 64 in magnitude — every coefficient fits in one int8_t
+// lane, so the whole spectrum packs into at most eight 64-bit words (lane w
+// is byte w: word w>>3, byte w&7, little-endian).  The companions of
+// tt/words.h for that representation: carry-isolated SWAR add/sub/negate,
+// the XOR-translate permutation s'[w] = s[w ^ u] as masked byte rotations
+// plus word swaps, the blocked Walsh-Hadamard butterfly (lane stages inside
+// a word, word stages across words), and an order-preserving sort key that
+// turns a lexicographic comparison of up to eight signed lanes into one
+// unsigned word comparison.
+//
+// The affine classifier (src/spectral/classification.cpp) is built on these:
+// its DFS evaluates thousands of signed, permuted spectrum blocks per
+// function, and each of them becomes a handful of word operations here.
+//
+// The inverse transform needs wider intermediates (partial butterfly sums of
+// a valid spectrum reach 2^(n+k) <= 4096), so a matching int16_t-lane set
+// (four lanes per word) is provided alongside.
+#pragma once
+
+#include <cstdint>
+
+namespace mcx {
+
+// ------------------------------------------------------ int8 lanes (packed)
+
+inline constexpr uint64_t spectrum_lane_high = 0x8080808080808080ull;
+inline constexpr uint64_t spectrum_lane_ones = 0x0101010101010101ull;
+
+/// Per-lane int8 addition: carries are confined to their lane.
+constexpr uint64_t spectrum_add(uint64_t a, uint64_t b)
+{
+    return ((a & ~spectrum_lane_high) + (b & ~spectrum_lane_high)) ^
+           ((a ^ b) & spectrum_lane_high);
+}
+
+/// Per-lane int8 subtraction: borrows are confined to their lane.
+constexpr uint64_t spectrum_sub(uint64_t a, uint64_t b)
+{
+    return ((a | spectrum_lane_high) - (b & ~spectrum_lane_high)) ^
+           ((a ^ ~b) & spectrum_lane_high);
+}
+
+/// Negate the lanes selected by `mask` (each lane of `mask` is 0x00 or
+/// 0xff): two's complement per selected lane, -x = ~x + 1.
+constexpr uint64_t spectrum_negate_if(uint64_t a, uint64_t mask)
+{
+    return spectrum_add(a ^ mask, mask & spectrum_lane_ones);
+}
+
+/// Byte mask of the lanes whose index has bit b set (b < 3).  The byte-
+/// granular analog of tt_projection_word.
+constexpr uint64_t spectrum_lane_mask(uint32_t b)
+{
+    constexpr uint64_t masks[3] = {0xff00ff00ff00ff00ull,
+                                   0xffff0000ffff0000ull,
+                                   0xffffffff00000000ull};
+    return masks[b];
+}
+
+/// Order-preserving comparison key: XORing the sign bit biases int8 lanes
+/// to unsigned order, the byte swap puts lane 0 (the first element of the
+/// sequence) in the most significant position — so comparing keys as plain
+/// uint64 compares the lane sequences lexicographically.
+constexpr uint64_t spectrum_sort_key(uint64_t w)
+{
+    return __builtin_bswap64(w ^ spectrum_lane_high);
+}
+
+/// Recover the packed lanes from a sort key.
+constexpr uint64_t spectrum_sort_key_inverse(uint64_t key)
+{
+    return __builtin_bswap64(key) ^ spectrum_lane_high;
+}
+
+/// In-place XOR-translate of `count` lanes spread over ceil(count/8) words:
+/// out[w] = in[w ^ u], u < count.  Bits 0..2 of u permute lanes inside each
+/// word (masked shifts), bits 3+ swap whole words; `count` is a power of
+/// two, so lanes beyond it are never touched.
+inline void spectrum_translate(uint64_t* words, uint32_t count, uint32_t u)
+{
+    const uint32_t num_words = count <= 8 ? 1 : count >> 3;
+    for (uint32_t b = 3; (1u << b) < count; ++b)
+        if ((u >> b) & 1) {
+            const uint32_t d = 1u << (b - 3);
+            for (uint32_t i = 0; i < num_words; ++i)
+                if ((i & d) == 0) {
+                    const uint64_t t = words[i];
+                    words[i] = words[i | d];
+                    words[i | d] = t;
+                }
+        }
+    for (uint32_t b = 0; b < 3 && (1u << b) < count; ++b)
+        if ((u >> b) & 1) {
+            const uint64_t m = spectrum_lane_mask(b);
+            const uint32_t s = 8u << b;
+            for (uint32_t i = 0; i < num_words; ++i)
+                words[i] = ((words[i] & m) >> s) | ((words[i] & ~m) << s);
+        }
+}
+
+/// Spread the low 8 bits of a truth table into one word of ±1 lanes:
+/// lane j = f(j) ? -1 : +1.  The multiply replicates the byte, the diagonal
+/// mask isolates bit j in lane j, and the +0x7f carry trick normalizes any
+/// non-zero lane to its sign bit.
+constexpr uint64_t spectrum_seed_word(uint64_t tt_bits)
+{
+    const uint64_t spread =
+        ((tt_bits & 0xff) * spectrum_lane_ones) & 0x8040201008040201ull;
+    const uint64_t set = ((spread + ~spectrum_lane_high) & spectrum_lane_high)
+                         >> 7; // 0x01 in every lane whose bit was set
+    return spectrum_sub(spectrum_lane_ones, set << 1); // 1 - 2*bit
+}
+
+/// Blocked in-place Walsh-Hadamard butterfly over `size` packed int8 lanes
+/// (size = 2^n, n <= 6): stages of lane distance 1, 2, 4 are masked
+/// shift/SWAR pairs inside each word, wider stages pair whole words.  With
+/// ±1 seed lanes the result is the Rademacher-Walsh spectrum
+/// s[w] = sum_x (-1)^(f(x) ^ (w.x)); all intermediates are bounded by 2^n
+/// and never overflow a lane.
+inline void spectrum_butterfly(uint64_t* words, uint32_t size)
+{
+    const uint32_t num_words = size <= 8 ? 1 : size >> 3;
+    for (uint32_t b = 0; b < 3 && (1u << b) < size; ++b) {
+        const uint64_t m = spectrum_lane_mask(b);
+        const uint32_t s = 8u << b;
+        for (uint32_t i = 0; i < num_words; ++i) {
+            const uint64_t lo = words[i] & ~m;      // lanes with index bit b=0
+            const uint64_t hi = (words[i] & m) >> s; // aligned onto lo's lanes
+            words[i] = (spectrum_add(lo, hi) & ~m) |
+                       ((spectrum_sub(lo, hi) << s) & m);
+        }
+    }
+    for (uint32_t d = 1; d < num_words; d <<= 1)
+        for (uint32_t i = 0; i < num_words; ++i)
+            if ((i & d) == 0) {
+                const uint64_t a = words[i];
+                const uint64_t b = words[i | d];
+                words[i] = spectrum_add(a, b);
+                words[i | d] = spectrum_sub(a, b);
+            }
+}
+
+/// Rademacher-Walsh spectrum of a single-word truth table (size = 2^n,
+/// n <= 6) into packed int8 lanes: seed ±1 lanes from the function bits,
+/// then the blocked butterfly.  The one implementation behind both
+/// walsh_spectrum and the classifier's constructor.
+inline void spectrum_from_truth_word(uint64_t tt_word, uint32_t size,
+                                     uint64_t* words)
+{
+    const uint32_t num_words = size <= 8 ? 1 : size >> 3;
+    for (uint32_t i = 0; i < num_words; ++i)
+        words[i] = spectrum_seed_word(tt_word >> (8 * i));
+    spectrum_butterfly(words, size);
+}
+
+/// Read lane w as a signed value.
+constexpr int32_t spectrum_lane(const uint64_t* words, uint32_t w)
+{
+    return static_cast<int8_t>(
+        static_cast<uint8_t>(words[w >> 3] >> ((w & 7) << 3)));
+}
+
+/// Write lane w (value must fit int8).
+constexpr void spectrum_set_lane(uint64_t* words, uint32_t w, int32_t value)
+{
+    const uint32_t shift = (w & 7) << 3;
+    words[w >> 3] = (words[w >> 3] & ~(uint64_t{0xff} << shift)) |
+                    (uint64_t{static_cast<uint8_t>(value)} << shift);
+}
+
+// ------------------------------------- int16 lanes (inverse transform only)
+
+inline constexpr uint64_t spectrum16_lane_high = 0x8000800080008000ull;
+
+constexpr uint64_t spectrum16_add(uint64_t a, uint64_t b)
+{
+    return ((a & ~spectrum16_lane_high) + (b & ~spectrum16_lane_high)) ^
+           ((a ^ b) & spectrum16_lane_high);
+}
+
+constexpr uint64_t spectrum16_sub(uint64_t a, uint64_t b)
+{
+    return ((a | spectrum16_lane_high) - (b & ~spectrum16_lane_high)) ^
+           ((a ^ ~b) & spectrum16_lane_high);
+}
+
+/// Word mask of the 16-bit lanes whose index has bit b set (b < 2).
+constexpr uint64_t spectrum16_lane_mask(uint32_t b)
+{
+    constexpr uint64_t masks[2] = {0xffff0000ffff0000ull,
+                                   0xffffffff00000000ull};
+    return masks[b];
+}
+
+/// The butterfly over `size` packed int16 lanes, four per word.  Used for
+/// the inverse transform, whose intermediates (partial sums of up to 2^k
+/// coefficients each bounded by 2^n) reach 2^(n+k) <= 4096 and need the
+/// wider lane.
+inline void spectrum16_butterfly(uint64_t* words, uint32_t size)
+{
+    const uint32_t num_words = size <= 4 ? 1 : size >> 2;
+    for (uint32_t b = 0; b < 2 && (1u << b) < size; ++b) {
+        const uint64_t m = spectrum16_lane_mask(b);
+        const uint32_t s = 16u << b;
+        for (uint32_t i = 0; i < num_words; ++i) {
+            const uint64_t lo = words[i] & ~m;
+            const uint64_t hi = (words[i] & m) >> s;
+            words[i] = (spectrum16_add(lo, hi) & ~m) |
+                       ((spectrum16_sub(lo, hi) << s) & m);
+        }
+    }
+    for (uint32_t d = 1; d < num_words; d <<= 1)
+        for (uint32_t i = 0; i < num_words; ++i)
+            if ((i & d) == 0) {
+                const uint64_t a = words[i];
+                const uint64_t b = words[i | d];
+                words[i] = spectrum16_add(a, b);
+                words[i | d] = spectrum16_sub(a, b);
+            }
+}
+
+constexpr int32_t spectrum16_lane(const uint64_t* words, uint32_t w)
+{
+    return static_cast<int16_t>(
+        static_cast<uint16_t>(words[w >> 2] >> ((w & 3) << 4)));
+}
+
+constexpr void spectrum16_set_lane(uint64_t* words, uint32_t w, int32_t value)
+{
+    const uint32_t shift = (w & 3) << 4;
+    words[w >> 2] = (words[w >> 2] & ~(uint64_t{0xffff} << shift)) |
+                    (uint64_t{static_cast<uint16_t>(value)} << shift);
+}
+
+} // namespace mcx

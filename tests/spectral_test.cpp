@@ -118,6 +118,42 @@ TEST(walsh_spectrum, rejects_invalid_spectrum)
     std::vector<int32_t> bogus{1, 0, 0, 0};
     EXPECT_THROW(function_from_spectrum(bogus, 2), std::invalid_argument);
     EXPECT_THROW(function_from_spectrum(bogus, 3), std::invalid_argument);
+    // Coefficients beyond ±2^n can never come from a Boolean function.
+    std::vector<int32_t> oversized{100, 0, 0, 0};
+    EXPECT_THROW(function_from_spectrum(oversized, 2), std::invalid_argument);
+}
+
+TEST(walsh_spectrum, matches_scalar_definition)
+{
+    // Independent ground truth for the packed butterfly: evaluate
+    // s[w] = sum_x (-1)^(f(x) ^ (w.x)) literally.
+    std::mt19937_64 rng{25};
+    for (uint32_t n = 0; n <= 6; ++n) {
+        for (int rep = 0; rep < 6; ++rep) {
+            const auto f = random_tt(n, rng);
+            const auto s = walsh_spectrum(f);
+            for (uint64_t w = 0; w < f.num_bits(); ++w) {
+                int32_t expected = 0;
+                for (uint64_t x = 0; x < f.num_bits(); ++x) {
+                    const auto parity =
+                        (std::popcount(w & x) & 1) ^ (f.get_bit(x) ? 1 : 0);
+                    expected += parity ? -1 : 1;
+                }
+                ASSERT_EQ(s[w], expected) << "n=" << n << " w=" << w;
+            }
+        }
+    }
+}
+
+TEST(walsh_spectrum, roundtrip_exhaustive_small)
+{
+    // Every function on up to 3 variables survives the packed
+    // forward/inverse transform pair bit-exactly.
+    for (uint32_t n = 0; n <= 3; ++n)
+        for (uint64_t bits = 0; bits < (uint64_t{1} << (1u << n)); ++bits) {
+            const truth_table f{n, bits};
+            EXPECT_EQ(function_from_spectrum(walsh_spectrum(f), n), f);
+        }
 }
 
 TEST(classify_affine, paper_example_majority_and)
@@ -339,6 +375,62 @@ TEST(classify_affine, constant_and_trivial_inputs)
     EXPECT_EQ(r1.representative.get_bit(0) ^ r1.transform.output_complement,
               true);
     EXPECT_THROW(classify_affine(truth_table{7}), std::invalid_argument);
+}
+
+/// The word-parallel engine replicates the scalar baseline's search tree
+/// exactly, so agreement is total: same success flag, same iteration count,
+/// same representative, same closed-form transform.
+void expect_engines_agree(const truth_table& f, uint64_t iteration_limit)
+{
+    const auto fast =
+        classify_affine(f, {.iteration_limit = iteration_limit});
+    const auto slow =
+        classify_affine_baseline(f, {.iteration_limit = iteration_limit});
+    ASSERT_EQ(fast.success, slow.success) << "f = " << f.to_hex();
+    if (!fast.success)
+        return;
+    ASSERT_EQ(fast.iterations, slow.iterations) << "f = " << f.to_hex();
+    ASSERT_EQ(fast.representative, slow.representative)
+        << "f = " << f.to_hex();
+    EXPECT_EQ(fast.transform.c, slow.transform.c);
+    EXPECT_EQ(fast.transform.v, slow.transform.v);
+    EXPECT_EQ(fast.transform.m_columns, slow.transform.m_columns);
+    EXPECT_EQ(fast.transform.output_complement,
+              slow.transform.output_complement);
+}
+
+TEST(classify_affine_vs_baseline, exhaustive_up_to_4_inputs)
+{
+    for (uint32_t n = 1; n <= 4; ++n)
+        for (uint64_t bits = 0; bits < (uint64_t{1} << (1u << n)); ++bits)
+            expect_engines_agree(truth_table{n, bits}, 500'000);
+}
+
+TEST(classify_affine_vs_baseline, randomized_5_and_6_inputs)
+{
+    std::mt19937_64 rng{26};
+    for (int rep = 0; rep < 40; ++rep)
+        expect_engines_agree(random_tt(5, rng), 2'000'000);
+    for (int rep = 0; rep < 15; ++rep)
+        expect_engines_agree(random_tt(6, rng), 2'000'000);
+}
+
+TEST(classify_affine_vs_baseline, truncation_agrees_under_tight_limits)
+{
+    // When iteration_limit aborts the search, both engines must abort at
+    // the same point — including the reported iteration count.
+    std::mt19937_64 rng{27};
+    for (const uint64_t limit : {50u, 500u, 5'000u}) {
+        for (int rep = 0; rep < 10; ++rep) {
+            const auto f = random_tt(6, rng);
+            const auto fast = classify_affine(f, {.iteration_limit = limit});
+            const auto slow =
+                classify_affine_baseline(f, {.iteration_limit = limit});
+            EXPECT_EQ(fast.success, slow.success) << "f = " << f.to_hex();
+            EXPECT_EQ(fast.iterations, slow.iterations)
+                << "f = " << f.to_hex();
+        }
+    }
 }
 
 TEST(classification_cache_suite, caches_results)

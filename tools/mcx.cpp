@@ -225,29 +225,44 @@ void write_report(const std::string& path, const std::string& input,
 
 // -------------------------------------------------------------------- CLI
 
-void usage()
+/// Keep this text in sync with the quickstart table in README.md — ci.sh
+/// smoke-asserts that the flags used there appear here.
+void usage(FILE* out)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: mcx [options] <input>\n"
-        "  <input>            BENCH file, Bristol file (--bristol), or\n"
-        "                     gen:<name>[:<arg>...] (see --list-gens)\n"
-        "options:\n"
-        "  --flow <spec>      '+'-separated passes: mc, xor,\n"
-        "                     size-baseline, cleanup (default: mc)\n"
-        "  --rounds <n>       max rounds per rewrite pass (default 100)\n"
-        "  --cut-size <k>     cut size 2..6 (default 6; size-baseline 4)\n"
-        "  --cut-limit <l>    cuts kept per node (default 12)\n"
-        "  --zero-gain        accept zero-gain replacements\n"
-        "  --iterate          repeat the flow until AND convergence\n"
-        "  --no-batch         disable batched cone simulation\n"
-        "  -o <file>          write result (.bench/.v/.txt by extension)\n"
-        "  --bristol          Bristol-fashion input (and output)\n"
-        "  --verify <m>       sim (default) | sat | none\n"
-        "  --report <file>    per-pass JSON report\n"
-        "  --seed <n>         random-simulation seed (default 1)\n"
-        "  --list-gens        list built-in generators\n"
-        "  --list-flows       list pass names\n");
+        "\n"
+        "input:\n"
+        "  <file>.bench            BENCH netlist\n"
+        "  <file>.txt|.bristol     Bristol-fashion circuit (implies --bristol)\n"
+        "  gen:<name>[:<arg>...]   built-in generator (see --list-gens)\n"
+        "\n"
+        "flow options:\n"
+        "  --flow <spec>           '+'-separated passes: mc, xor,\n"
+        "                          size-baseline, cleanup (default: mc)\n"
+        "  --rounds <n>            max rounds per rewrite pass (default 100)\n"
+        "  --cut-size <k>          cut size 2..6 (default 6; size-baseline 4)\n"
+        "  --cut-limit <l>         cuts kept per node (default 12)\n"
+        "  --zero-gain             accept zero-gain replacements\n"
+        "  --iterate               repeat the flow until AND convergence\n"
+        "  --no-batch              disable batched cone simulation (A/B)\n"
+        "  --classify-baseline     use the scalar affine classifier (A/B)\n"
+        "\n"
+        "output and verification:\n"
+        "  -o, --output <file>     write result (.bench/.v/.txt by extension)\n"
+        "  --bristol               Bristol-fashion input (and output)\n"
+        "  --verify <m>            sim (default) | sat | none\n"
+        "  --report <file>         per-pass JSON report (see docs/artifacts.md)\n"
+        "  --seed <n>              random-simulation seed (default 1)\n"
+        "\n"
+        "info:\n"
+        "  --list-gens             list built-in generators\n"
+        "  --list-flows            list pass names\n"
+        "  -h, --help              this text\n"
+        "\n"
+        "exit codes: 0 success (equivalence verified), 1 usage/input error,\n"
+        "            2 verification failure\n");
 }
 
 struct options {
@@ -316,7 +331,9 @@ int main(int argc, char** argv)
         else if (arg == "--no-batch") {
             opt.params.rewrite.batched_simulation = false;
             opt.params.size_rewrite.batched_simulation = false;
-        } else if (arg == "-o" || arg == "--output")
+        } else if (arg == "--classify-baseline")
+            opt.params.rewrite.classification_word_parallel = false;
+        else if (arg == "-o" || arg == "--output")
             opt.output = next();
         else if (arg == "--bristol")
             opt.bristol = true;
@@ -336,17 +353,18 @@ int main(int argc, char** argv)
             std::printf("(join with '+', e.g. --flow mc+xor)\n");
             return 0;
         } else if (arg == "--help" || arg == "-h") {
-            usage();
+            usage(stdout);
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
-            usage();
+            std::fprintf(stderr, "error: unknown option '%s' (see --help)\n",
+                         arg.c_str());
             return 1;
         } else
             opt.input = arg;
     }
     if (opt.input.empty()) {
-        usage();
+        std::fprintf(stderr, "error: no input given\n\n");
+        usage(stderr);
         return 1;
     }
     opt.params.iterate_until_convergence = opt.iterate;
