@@ -16,16 +16,20 @@
 #include "cut/cut_enumeration.h"
 #include "exact/exact_mc.h"
 #include "gen/arithmetic.h"
+#include "io/bench.h"
 #include "npn/npn.h"
 #include "spectral/classification.h"
 #include "tt/operations.h"
+#include "xag/cleanup.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -175,6 +179,32 @@ int main()
         std::printf("%-34s %12.1f x\n", "classify/speedup", classify_speedup);
     }
 
+    // ---------------------------------- classification, 4-input (A/B, cold)
+    // Small functions spend their whole search on one- and two-row DFS
+    // levels; the sub-word candidate layout (spectrum_zip8_*, 4 candidate
+    // keys per word) is what lifts them over the same >= 4x bar as the
+    // 6-input workload.
+    double classify4_speedup = 0;
+    {
+        const auto fs = random_functions(4, 64, 5);
+        const double cls4_fast_ns =
+            run_bench("spectral/classify4_word_parallel", fs.size(), [&] {
+                for (const auto& f : fs)
+                    g_sink += classify_affine(f, {.iteration_limit = 100'000})
+                                  .iterations;
+            });
+        const double cls4_base_ns =
+            run_bench("spectral/classify4_baseline", fs.size(), [&] {
+                for (const auto& f : fs)
+                    g_sink += classify_affine_baseline(
+                                  f, {.iteration_limit = 100'000})
+                                  .iterations;
+            });
+        classify4_speedup = cls4_base_ns / cls4_fast_ns;
+        std::printf("%-34s %12.1f x\n", "classify4/speedup",
+                    classify4_speedup);
+    }
+
     // -------------------------------------------------- exact synthesis
     run_bench("exact/mc_maj3", 1, [&] {
         g_sink += exact_mc_synthesis(truth_table{3, 0xe8}).num_ands;
@@ -240,6 +270,66 @@ int main()
                 static_cast<unsigned long long>(
                     round.cut_stats.dominated_cuts));
 
+    // ------------------------- parallel two-phase round (1 vs 4 workers)
+    // Same adder64 workload on the deterministic two-phase engine
+    // (src/core/pass.cpp, docs/parallel.md), 1 worker vs 4, each context
+    // warmed by one throwaway round so databases and cache shards are hot
+    // and the measurement isolates the engine.  The engine's contract —
+    // bit-identical networks for any thread count — is asserted on the
+    // spot; the speedup is gated >= 2x only when the machine actually has
+    // >= 4 hardware threads (on smaller machines the numbers are recorded
+    // in the JSON but cannot gate).
+    const uint32_t hw_threads = std::max(1u, std::thread::hardware_concurrency());
+    double par_1t = 1e300, par_4t = 1e300;
+    std::string par_net_1t, par_net_4t;
+    {
+        rewrite_params p1;
+        p1.num_threads = 1;
+        rewrite_params p4;
+        p4.num_threads = 4;
+        pass_context ctx1, ctx4;
+        {
+            auto warm = gen_adder(64);
+            mc_rewrite_round(warm, ctx1, p1);
+        }
+        {
+            auto warm = gen_adder(64);
+            mc_rewrite_round(warm, ctx4, p4);
+        }
+        const auto serialize = [](const xag& n) {
+            std::ostringstream os;
+            write_bench(cleanup(n), os);
+            return os.str();
+        };
+        for (int sample = 0; sample < 3; ++sample) {
+            {
+                auto n64 = gen_adder(64);
+                const auto r = mc_rewrite_round(n64, ctx1, p1);
+                par_1t = std::min(par_1t, r.seconds);
+                par_net_1t = serialize(n64);
+            }
+            {
+                auto n64 = gen_adder(64);
+                const auto r = mc_rewrite_round(n64, ctx4, p4);
+                par_4t = std::min(par_4t, r.seconds);
+                par_net_4t = serialize(n64);
+            }
+        }
+        if (par_net_1t != par_net_4t) {
+            std::fprintf(stderr, "FAIL: two-phase round is not bit-identical "
+                                 "across thread counts\n");
+            return 1;
+        }
+    }
+    const double par_speedup = par_1t / par_4t;
+    const bool par_gated = hw_threads >= 4;
+    std::printf("\ntwo-phase round (adder64, warmed db/cache):\n");
+    std::printf("  1 worker                  %8.4f s\n", par_1t);
+    std::printf("  4 workers                 %8.4f s\n", par_4t);
+    std::printf("%-34s %12.2f x%s\n", "par/round_speedup", par_speedup,
+                par_gated ? ""
+                          : "   (gate skipped: < 4 hardware threads)");
+
     // ------------------------------------------------------- JSON output
     const char* json_path_env = std::getenv("MCX_BENCH_JSON");
     const std::string json_path =
@@ -263,8 +353,10 @@ int main()
     std::fprintf(json,
                  "  \"speedups\": {\"npn_canonize\": %.2f, "
                  "\"cut_enumeration\": %.2f, \"classify\": %.2f, "
-                 "\"batched_round\": %.2f},\n",
-                 npn_speedup, cut_speedup, classify_speedup, flow_speedup);
+                 "\"classify4\": %.2f, \"batched_round\": %.2f, "
+                 "\"parallel_round\": %.2f},\n",
+                 npn_speedup, cut_speedup, classify_speedup,
+                 classify4_speedup, flow_speedup, par_speedup);
     std::fprintf(json,
                  "  \"flow_round\": {\"workload\": \"adder64\", "
                  "\"batched_seconds\": %.4f, \"unbatched_seconds\": %.4f},\n",
@@ -279,6 +371,14 @@ int main()
                  "\"rewrite_seconds\": %.4f, \"replacements\": %llu},\n",
                  round.seconds, round.cut_seconds, round.rewrite_seconds,
                  static_cast<unsigned long long>(round.replacements));
+    std::fprintf(json,
+                 "  \"parallel_round\": {\"workload\": \"adder64\", "
+                 "\"threads\": 4, \"seconds_1t\": %.4f, "
+                 "\"seconds_4t\": %.4f, \"speedup\": %.2f, "
+                 "\"hardware_concurrency\": %u, \"gated\": %s, "
+                 "\"deterministic\": true},\n",
+                 par_1t, par_4t, par_speedup, hw_threads,
+                 par_gated ? "true" : "false");
     std::fprintf(json, "  \"sink\": %llu\n}\n",
                  static_cast<unsigned long long>(g_sink));
     std::fclose(json);
@@ -289,17 +389,30 @@ int main()
     // per-cut path on the full-round workload; the word-parallel affine
     // classifier must stay >= 4x its scalar baseline cold-cache.
     if (npn_speedup < 5.0 || cut_speedup < 2.0 || classify_speedup < 4.0 ||
-        flow_speedup < 1.0) {
+        classify4_speedup < 4.0 || flow_speedup < 1.0) {
         std::fprintf(stderr,
                      "FAIL: speedup gates not met (npn %.2fx >= 5x, cut "
-                     "%.2fx >= 2x, classify %.2fx >= 4x, batched round "
-                     "%.2fx >= 1x)\n",
+                     "%.2fx >= 2x, classify %.2fx >= 4x, classify4 %.2fx "
+                     ">= 4x, batched round %.2fx >= 1x)\n",
                      npn_speedup, cut_speedup, classify_speedup,
-                     flow_speedup);
+                     classify4_speedup, flow_speedup);
+        return 1;
+    }
+    // The parallel-round gate needs real cores: >= 2x at 4 workers is
+    // physically impossible on a 1-2 thread machine, so there the numbers
+    // are recorded (parallel_round.gated = false) without failing CI.
+    if (par_gated && par_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: parallel round speedup %.2fx < 2x at 4 threads "
+                     "(%u hardware threads)\n",
+                     par_speedup, hw_threads);
         return 1;
     }
     std::printf("speedup gates passed (npn %.1fx >= 5x, cut %.1fx >= 2x, "
-                "classify %.1fx >= 4x, batched round %.2fx >= 1x)\n",
-                npn_speedup, cut_speedup, classify_speedup, flow_speedup);
+                "classify %.1fx >= 4x, classify4 %.1fx >= 4x, batched "
+                "round %.2fx >= 1x, parallel round %.2fx%s)\n",
+                npn_speedup, cut_speedup, classify_speedup,
+                classify4_speedup, flow_speedup, par_speedup,
+                par_gated ? " >= 2x" : " [not gated: < 4 hw threads]");
     return 0;
 }

@@ -30,13 +30,29 @@ cmake --build build -j"$(nproc)"
 ./build/tools/mcx --flow mc+xor build/adder16.bench \
     -o build/adder16_bench_opt.bench --report FLOW_smoke_bench.json
 
+# Parallel flow smoke: the two-phase engine at 4 workers must verify and
+# produce output bit-identical to its 1-worker reference run
+# (docs/parallel.md determinism contract).
+./build/tools/mcx --flow mc+xor --threads 4 gen:adder:16 \
+    -o build/adder16_par4.bench --report FLOW_smoke_par.json
+./build/tools/mcx --flow mc+xor --threads 1 gen:adder:16 \
+    -o build/adder16_par1.bench
+cmp build/adder16_par4.bench build/adder16_par1.bench || {
+    echo "ci.sh: --threads 4 output differs from --threads 1" >&2
+    exit 1
+}
+grep -q '"threads": 4' FLOW_smoke_par.json || {
+    echo "ci.sh: FLOW_smoke_par.json lacks the per-pass thread count" >&2
+    exit 1
+}
+
 # CLI usage smoke: --help exits 0 and documents every flag the README
 # quickstart uses; an unknown flag fails with a pointed message, not a
 # usage dump.
 help_text=$(./build/tools/mcx --help)
 for flag in --flow --iterate --rounds --cut-size --cut-limit --zero-gain \
             --verify --report --seed --no-batch --classify-baseline \
-            --bristol --output --list-gens --list-flows; do
+            --threads --bristol --output --list-gens --list-flows; do
     grep -qe "$flag" <<<"$help_text" || {
         echo "ci.sh: mcx --help does not mention $flag" >&2
         exit 1
@@ -76,5 +92,19 @@ for file in README.md docs/*.md; do
 done
 [ "$docs_failed" -eq 0 ] || exit 1
 
+# ThreadSanitizer job: the parallel subsystem (thread pool, sharded
+# databases, two-phase round) and the pass framework under TSan.  The
+# par_test determinism sweep is trimmed to one representative family —
+# full generator sweeps under TSan's ~10x slowdown belong in a nightly,
+# not the per-commit gate.
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j"$(nproc)" --target par_test pass_test
+(cd build-tsan &&
+    GTEST_FILTER='work_deque.*:thread_pool.*:sharded_database.*:two_phase_determinism.aes_family' \
+        ctest -R par_test --output-on-failure &&
+    ctest -R pass_test --output-on-failure)
+
 echo "ci.sh: all gates passed (JSON artifacts: BENCH_micro_core.json," \
-     "FLOW_smoke_gen.json, FLOW_smoke_bench.json)"
+     "FLOW_smoke_gen.json, FLOW_smoke_bench.json, FLOW_smoke_par.json)"

@@ -68,6 +68,10 @@ flow make_flow(std::string_view spec, const flow_params& params)
     flow f;
     f.name = std::string{spec};
     f.params = params;
+    if (f.params.num_threads != 0) {
+        f.params.rewrite.num_threads = f.params.num_threads;
+        f.params.size_rewrite.num_threads = f.params.num_threads;
+    }
     size_t begin = 0;
     while (begin <= spec.size()) {
         size_t end = begin;
@@ -76,7 +80,7 @@ flow make_flow(std::string_view spec, const flow_params& params)
             ++end;
         const auto token = spec.substr(begin, end - begin);
         if (!token.empty())
-            f.passes.push_back(make_pass(token, params));
+            f.passes.push_back(make_pass(token, f.params));
         if (end == spec.size())
             break;
         begin = end + 1;

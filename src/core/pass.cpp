@@ -6,6 +6,8 @@
 #include "xag/cleanup.h"
 #include "xag/simulate.h"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <optional>
 #include <unordered_map>
@@ -52,6 +54,25 @@ npn_cache& pass_context::npn()
     if (!npn_cache_)
         npn_cache_ = std::make_unique<npn_cache>();
     return *npn_cache_;
+}
+
+thread_pool& pass_context::pool(uint32_t num_threads)
+{
+    if (num_threads == 0)
+        num_threads = 1;
+    if (!pool_ || pool_->num_workers() != num_threads)
+        pool_ = std::make_unique<thread_pool>(num_threads);
+    return *pool_;
+}
+
+pass_scratch& pass_context::scratch(uint32_t worker)
+{
+    while (scratch_.size() <= worker)
+        scratch_.push_back(std::make_unique<pass_scratch>(
+            classification_params{
+                .iteration_limit = params_.classification_iteration_limit,
+                .word_parallel = params_.classification_word_parallel}));
+    return *scratch_[worker];
 }
 
 namespace {
@@ -141,18 +162,143 @@ bool verify_candidate(const xag& net, cone_simulator& sim, signal candidate,
     return (candidate.complemented() ? ~tt : tt) == expected;
 }
 
-/// Direct replacements for cuts whose function collapsed to a constant or a
-/// single leaf (no database needed).
-std::optional<signal> trivial_replacement(xag& net, const support_view& view,
+/// Direct replacements for cuts whose (support-shrunk) function collapsed
+/// to a constant or a single leaf (no database needed).  `f` is the
+/// shrunk function, `leaf_sigs` its support leaves.
+std::optional<signal> trivial_replacement(xag& net, const truth_table& f,
                                           std::span<const signal> leaf_sigs)
 {
-    if (view.support.empty())
-        return net.get_constant(view.function.get_bit(0));
-    if (view.support.size() == 1) {
+    if (leaf_sigs.empty())
+        return net.get_constant(f.get_bit(0));
+    if (leaf_sigs.size() == 1) {
         const auto x = truth_table::projection(1, 0);
-        return leaf_sigs[0] ^ (view.function == ~x);
+        return leaf_sigs[0] ^ (f == ~x);
     }
     return std::nullopt;
+}
+
+/// Phases 1-2 of a node visit, shared verbatim by both engines (the
+/// determinism story depends on them scoring identical cuts): resolve the
+/// node's enumerated cuts to live, sorted, deduplicated leaf sets, then
+/// evaluate every cut function — batched union-cone traversal or the
+/// per-cut legacy path.  Returns the number of active cuts; leaf sets are
+/// in pool[0..count), function words in `words`, per-cut validity in
+/// `valid`.  `cuts_evaluated` is bumped once per resolved cut.
+size_t resolve_and_simulate(const xag& net, std::span<const cut> node_cuts,
+                            uint32_t n, cone_simulator& sim, bool batched,
+                            std::vector<cone_simulator::leaf_set>& pool,
+                            std::vector<uint64_t>& words,
+                            std::vector<uint64_t>& chunk_words,
+                            std::vector<uint8_t>& valid,
+                            uint64_t& cuts_evaluated)
+{
+    // Leaves replaced earlier (by this round's commits in the sequential
+    // engine, by earlier rounds otherwise) are followed to their live
+    // equivalents; `pool` is an index-reused scratch: slots keep their
+    // capacity across nodes.
+    size_t count = 0;
+    for (const auto& c : node_cuts) {
+        if (c.num_leaves < 2 && c.leaves[0] == n)
+            continue; // trivial cut
+        if (pool.size() == count)
+            pool.emplace_back();
+        auto& cut_leaves = pool[count];
+        cut_leaves.clear();
+        bool leaves_ok = true;
+        for (const auto l : c.leaf_span()) {
+            const auto live = net.resolve(signal{l, false});
+            if (net.is_dead(live.node()) || live.node() == n) {
+                leaves_ok = false;
+                break;
+            }
+            if (live.node() != 0)
+                cut_leaves.push_back(live.node());
+        }
+        if (!leaves_ok || cut_leaves.empty())
+            continue;
+        std::sort(cut_leaves.begin(), cut_leaves.end());
+        cut_leaves.erase(std::unique(cut_leaves.begin(), cut_leaves.end()),
+                         cut_leaves.end());
+        ++cuts_evaluated;
+        ++count;
+    }
+    if (count == 0)
+        return 0;
+    const std::span<const cone_simulator::leaf_set> active{pool.data(),
+                                                           count};
+
+    words.assign(count, 0);
+    valid.assign(count, 0);
+    if (batched) {
+        // Chunked so arbitrarily large per-node cut counts work (the
+        // simulator evaluates up to 64 lanes per call).
+        for (size_t base = 0; base < count; base += 64) {
+            const auto chunk = std::min<size_t>(64, count - base);
+            const auto mask = sim.simulate_cuts(
+                net, n, active.subspan(base, chunk), chunk_words);
+            for (size_t j = 0; j < chunk; ++j) {
+                words[base + j] = chunk_words[j];
+                valid[base + j] = static_cast<uint8_t>((mask >> j) & 1);
+            }
+        }
+    } else {
+        for (size_t i = 0; i < count; ++i) {
+            try {
+                words[i] = cone_function(net, n, active[i]).word();
+                valid[i] = 1;
+            } catch (const std::invalid_argument&) {
+                // no longer a cut of n
+            }
+        }
+    }
+    return count;
+}
+
+/// A built, verified, scored candidate.  It holds one network reference —
+/// the caller either substitutes it or releases it.
+struct scored_candidate {
+    signal sig{};
+    int64_t gain = 0;
+};
+
+/// Commit-side kernel shared by both engines (the determinism story
+/// depends on them applying the identical protocol): build the candidate
+/// for a support-shrunk function — trivially, or through `make` — measure
+/// the actual created cost, verify function and containment against the
+/// current network, and score the DAG-aware gain (MFFC savings over the
+/// full cut, computed while the candidate's references pin any shared
+/// nodes, minus the created cost).  Returns nullopt with every temporary
+/// reference released when the build fails or verification rejects.
+template <typename Strategy, typename Make>
+std::optional<scored_candidate> build_scored_candidate(
+    xag& net, cone_simulator& sim, Strategy& strat, Make&& make,
+    const truth_table& f, std::span<const signal> leaf_sigs,
+    std::span<const uint32_t> support_nodes,
+    std::span<const uint32_t> mffc_leaves, uint32_t n, bool batched,
+    uint64_t* candidates_built)
+{
+    const auto cost_before = strat.created_cost();
+    std::optional<signal> candidate = trivial_replacement(net, f, leaf_sigs);
+    if (!candidate) {
+        candidate = make(f, leaf_sigs);
+        if (!candidate)
+            return std::nullopt;
+    }
+    const auto created = strat.created_cost() - cost_before;
+    if (candidates_built)
+        ++*candidates_built;
+    net.take_ref(*candidate);
+    const bool ok =
+        batched ? verify_candidate(net, sim, *candidate, support_nodes, f, n)
+                : verify_candidate_legacy(net, *candidate, support_nodes, f,
+                                          n);
+    if (!ok) {
+        net.release_ref(net.resolve(*candidate));
+        return std::nullopt;
+    }
+    const int64_t saved = strat.mffc_cost(n, mffc_leaves);
+    return scored_candidate{*candidate,
+                            saved - static_cast<int64_t>(created)};
 }
 
 /// The ONE rewrite loop shared by the proposed method and the size
@@ -178,73 +324,18 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
         if (!net.is_gate(n) || net.is_dead(n))
             continue;
 
-        // ---- phase 1: resolve every cut's leaves to live nodes ----------
-        // Leaves replaced earlier in this pass are followed to their live
-        // equivalents; without this, every rewrite would blind its fanout
-        // cones to the freshly created shared logic.  `resolved` is an
-        // index-reused pool: slots keep their capacity across nodes.
-        size_t num_resolved = 0;
-        for (const auto& c : cuts[n]) {
-            if (c.num_leaves < 2 && c.leaves[0] == n)
-                continue; // trivial cut
-            if (resolved.size() == num_resolved)
-                resolved.emplace_back();
-            auto& cut_leaves = resolved[num_resolved];
-            cut_leaves.clear();
-            bool leaves_ok = true;
-            for (const auto l : c.leaf_span()) {
-                const auto live = net.resolve(signal{l, false});
-                if (net.is_dead(live.node()) || live.node() == n) {
-                    leaves_ok = false;
-                    break;
-                }
-                if (live.node() != 0)
-                    cut_leaves.push_back(live.node());
-            }
-            if (!leaves_ok || cut_leaves.empty())
-                continue;
-            std::sort(cut_leaves.begin(), cut_leaves.end());
-            cut_leaves.erase(
-                std::unique(cut_leaves.begin(), cut_leaves.end()),
-                cut_leaves.end());
-            ++stats.cuts_evaluated;
-            ++num_resolved;
-        }
-        if (num_resolved == 0)
-            continue;
-        const std::span<const cone_simulator::leaf_set> active{
-            resolved.data(), num_resolved};
-
-        // ---- phase 2: all cut functions in one union-cone traversal -----
+        // ---- phases 1-2: resolve leaves, evaluate all cut functions -----
         // No candidate has been spliced yet for this node, so every
         // existing cone node keeps its value throughout phase 3: computing
         // the functions up front is exactly equivalent to the per-cut
         // re-simulation it replaces.
-        words.assign(active.size(), 0);
-        valid.assign(active.size(), 0);
-        if (batched) {
-            // Chunked so arbitrarily large per-node cut counts work (the
-            // simulator evaluates up to 64 lanes per call).
-            for (size_t base = 0; base < active.size(); base += 64) {
-                const auto count = std::min<size_t>(64, active.size() - base);
-                const auto mask = sim.simulate_cuts(
-                    net, n, active.subspan(base, count), chunk_words);
-                for (size_t j = 0; j < count; ++j) {
-                    words[base + j] = chunk_words[j];
-                    valid[base + j] =
-                        static_cast<uint8_t>((mask >> j) & 1);
-                }
-            }
-        } else {
-            for (size_t i = 0; i < active.size(); ++i) {
-                try {
-                    words[i] = cone_function(net, n, active[i]).word();
-                    valid[i] = 1;
-                } catch (const std::invalid_argument&) {
-                    // no longer a cut of n
-                }
-            }
-        }
+        const auto num_resolved = resolve_and_simulate(
+            net, cuts[n], n, sim, batched, resolved, words, chunk_words,
+            valid, stats.cuts_evaluated);
+        if (num_resolved == 0)
+            continue;
+        const std::span<const cone_simulator::leaf_set> active{
+            resolved.data(), num_resolved};
 
         // ---- phase 3: candidate construction and MFFC-gated commit ------
         signal best{};
@@ -266,42 +357,25 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
                 leaf_sigs.push_back(signal{cut_leaves[idx], false});
             }
 
-            const auto cost_before = strat.created_cost();
-            std::optional<signal> candidate =
-                trivial_replacement(net, view, leaf_sigs);
-            if (!candidate) {
-                candidate = strat.make_candidate(view.function, leaf_sigs);
-                if (!candidate)
-                    continue;
-            }
-            const auto created = strat.created_cost() - cost_before;
-            ++stats.candidates_built;
-            net.take_ref(*candidate);
-
-            const bool ok =
-                batched ? verify_candidate(net, sim, *candidate, leaf_nodes,
-                                           view.function, n)
-                        : verify_candidate_legacy(net, *candidate, leaf_nodes,
-                                                  view.function, n);
-            if (!ok) {
-                net.release_ref(net.resolve(*candidate));
+            const auto scored = build_scored_candidate(
+                net, sim, strat,
+                [&](const truth_table& f, std::span<const signal> ls) {
+                    return strat.make_candidate(f, ls);
+                },
+                view.function, leaf_sigs, leaf_nodes, cut_leaves, n, batched,
+                &stats.candidates_built);
+            if (!scored)
                 continue;
-            }
 
-            // DAG-aware gain: the candidate's references already pin any
-            // shared nodes, so the MFFC below counts only what would truly
-            // be freed.
-            const int64_t saved = strat.mffc_cost(n, cut_leaves);
-            const int64_t gain = saved - static_cast<int64_t>(created);
-            const bool structurally_new = candidate->node() != n;
-            if (structurally_new && gain > best_gain) {
+            const bool structurally_new = scored->sig.node() != n;
+            if (structurally_new && scored->gain > best_gain) {
                 if (have_best)
                     net.release_ref(net.resolve(best));
-                best = *candidate;
-                best_gain = gain;
+                best = scored->sig;
+                best_gain = scored->gain;
                 have_best = true;
             } else {
-                net.release_ref(net.resolve(*candidate));
+                net.release_ref(net.resolve(scored->sig));
             }
         }
 
@@ -313,6 +387,213 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
     }
 }
 
+// ------------------------------------------------ two-phase parallel round
+//
+// The deterministic engine behind `num_threads >= 1` (docs/parallel.md):
+//
+//  * EVALUATE (parallel): every gate node is scored independently against
+//    the network as it stands at round start — resolve its cuts, batch-
+//    simulate their functions on the worker's own cone_simulator, classify
+//    through the worker's cache shard, look the class up in the (striped,
+//    once-per-class) database, and record the best candidate by estimated
+//    gain (MFFC savings minus the database entry's cost).  Nothing touches
+//    the network, so the per-node result is a pure function of (network,
+//    cut sets, node) and the winner array is identical for any thread
+//    count and any work-stealing schedule.
+//
+//  * COMMIT (sequential, ascending node order): re-validate each winner
+//    against the network as modified by the commits before it — the node
+//    and every cut leaf must still be live and unmoved — then build the
+//    real candidate, verify its function and containment, and commit when
+//    the exact gain (actual created cost, current MFFC) clears the
+//    threshold.  Winners invalidated by an earlier commit are simply
+//    dropped; the next round re-enumerates and re-scores them (the
+//    "deferred to the next round" half of the contract).
+//
+// Unlike the in-place loop, the evaluate phase never sees this round's own
+// rewrites, so per-round replacement counts differ between the engines —
+// but both converge, and the parallel engine's output depends only on the
+// input network and the parameters, never on the thread count.
+
+/// Best replacement found for one node by the evaluate phase.
+struct eval_winner {
+    uint32_t node = 0;
+    truth_table function;                 ///< support-shrunk cut function
+    std::array<uint32_t, 6> cut_leaves{}; ///< resolved full leaf set
+    std::array<uint8_t, 6> support{};     ///< indices into cut_leaves
+    uint8_t num_cut_leaves = 0;
+    uint8_t num_support = 0;
+    /// Worker that scored this node — its cache shard already holds the
+    /// function's classification, so the commit phase classifies through
+    /// the same shard (a warm hit) instead of re-running the search cold.
+    uint32_t worker = 0;
+    bool valid = false;
+};
+
+template <typename Strategy>
+void evaluate_node(const xag& net, const cut_sets& cuts, Strategy& strat,
+                   pass_scratch& sc, bool allow_zero_gain, bool batched,
+                   uint32_t n, eval_winner& winner)
+{
+    // ---- phases 1-2, shared with the in-place loop (resolution is a
+    // formality here — the network is frozen during the phase — but the
+    // filtering must stay identical so both engines score the same cuts).
+    const auto num_resolved = resolve_and_simulate(
+        net, cuts[n], n, sc.simulator, batched, sc.resolved, sc.words,
+        sc.chunk_words, sc.valid, sc.cuts_evaluated);
+    if (num_resolved == 0)
+        return;
+    const std::span<const cone_simulator::leaf_set> active{
+        sc.resolved.data(), num_resolved};
+
+    // ---- score: estimated gain = MFFC savings - database entry cost.
+    int64_t best_gain = allow_zero_gain ? -1 : 0;
+    for (size_t i = 0; i < active.size(); ++i) {
+        if (!sc.valid[i])
+            continue;
+        const auto& cut_leaves = active[i];
+        const auto k = static_cast<uint32_t>(cut_leaves.size());
+        const truth_table tt{k, sc.words[i]};
+        const auto view = shrink_to_support(tt);
+
+        uint64_t created = 0;
+        if (view.support.size() >= 2) {
+            bool ok = false;
+            created = strat.estimated_cost(view.function, sc, ok);
+            if (!ok)
+                continue;
+        }
+        ++sc.candidates_built;
+        const int64_t saved = strat.mffc_cost(n, cut_leaves);
+        const int64_t gain = saved - static_cast<int64_t>(created);
+        if (gain <= best_gain)
+            continue;
+        best_gain = gain;
+        winner.node = n;
+        winner.function = view.function;
+        winner.num_cut_leaves = static_cast<uint8_t>(cut_leaves.size());
+        std::copy(cut_leaves.begin(), cut_leaves.end(),
+                  winner.cut_leaves.begin());
+        winner.num_support = static_cast<uint8_t>(view.support.size());
+        for (size_t s = 0; s < view.support.size(); ++s)
+            winner.support[s] = static_cast<uint8_t>(view.support[s]);
+        winner.valid = true;
+    }
+}
+
+template <typename Strategy>
+void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
+                         bool allow_zero_gain, bool batched,
+                         uint32_t num_threads, Strategy& strat)
+{
+    // Gate nodes in topological order: the evaluate phase's index space
+    // and the commit phase's application order.
+    std::vector<uint32_t> nodes;
+    for (const auto n : net.topological_order())
+        if (net.is_gate(n) && !net.is_dead(n))
+            nodes.push_back(n);
+
+    auto& pool = ctx.pool(num_threads);
+    const auto workers = pool.num_workers();
+    uint64_t shard_hits0 = 0, shard_misses0 = 0;
+    for (uint32_t w = 0; w < workers; ++w) {
+        auto& sc = ctx.scratch(w); // created before the team needs it
+        sc.cuts_evaluated = 0;
+        sc.classify_failures = 0;
+        sc.candidates_built = 0;
+        const auto [h, m] = strat.scratch_traffic(sc);
+        shard_hits0 += h;
+        shard_misses0 += m;
+    }
+
+    // ---- phase 1: parallel evaluate over the frozen network.
+    std::vector<eval_winner> winners(nodes.size());
+    const auto& cuts = ctx.cuts();
+    pool.parallel_for(0, nodes.size(), [&](size_t idx, uint32_t worker) {
+        evaluate_node(net, cuts, strat, ctx.scratch(worker), allow_zero_gain,
+                      batched, nodes[idx], winners[idx]);
+        winners[idx].worker = worker;
+    });
+
+    for (uint32_t w = 0; w < workers; ++w) {
+        auto& sc = ctx.scratch(w);
+        stats.cuts_evaluated += sc.cuts_evaluated;
+        stats.classify_failures += sc.classify_failures;
+        stats.candidates_built += sc.candidates_built;
+    }
+
+    // ---- phase 2: sequential commit in node order.
+    auto& sim = ctx.simulator();
+    std::vector<signal> leaf_sigs;
+    std::vector<uint32_t> support_nodes;
+    std::vector<uint32_t> full_leaves;
+    for (const auto& w : winners) {
+        if (!w.valid)
+            continue;
+        const auto n = w.node;
+        if (net.is_dead(n))
+            continue; // consumed by an earlier commit — next round's problem
+
+        // Every leaf of the scored cut must still be exactly the node the
+        // evaluation saw; a leaf merged or freed by an earlier commit
+        // invalidates both the function and the MFFC bound.
+        bool leaves_ok = true;
+        full_leaves.clear();
+        for (uint8_t k = 0; k < w.num_cut_leaves; ++k) {
+            const auto l = w.cut_leaves[k];
+            if (net.is_dead(l) ||
+                net.resolve(signal{l, false}) != signal{l, false}) {
+                leaves_ok = false;
+                break;
+            }
+            full_leaves.push_back(l);
+        }
+        if (!leaves_ok)
+            continue;
+        leaf_sigs.clear();
+        support_nodes.clear();
+        for (uint8_t s = 0; s < w.num_support; ++s) {
+            const auto l = w.cut_leaves[w.support[s]];
+            support_nodes.push_back(l);
+            leaf_sigs.push_back(signal{l, false});
+        }
+
+        // Exact gain against the *current* network: actual created cost
+        // (structural hashing may have shared most of the candidate) and
+        // the MFFC as it stands after the commits above.  Classification
+        // goes through the scoring worker's shard, where it is a warm hit.
+        auto& shard = ctx.scratch(w.worker);
+        const auto scored = build_scored_candidate(
+            net, sim, strat,
+            [&](const truth_table& f, std::span<const signal> ls) {
+                return strat.make_candidate_cached(f, ls, shard);
+            },
+            w.function, leaf_sigs, support_nodes, full_leaves, n, batched,
+            nullptr);
+        if (!scored)
+            continue;
+        if (scored->sig.node() != n &&
+            scored->gain > (allow_zero_gain ? -1 : 0)) {
+            net.substitute(n, scored->sig);
+            net.release_ref(net.resolve(scored->sig));
+            ++stats.replacements;
+        } else {
+            net.release_ref(net.resolve(scored->sig));
+        }
+    }
+
+    // Shard-cache traffic for this round's stats, including the commit
+    // phase's (warm) lookups.
+    uint64_t shard_hits1 = 0, shard_misses1 = 0;
+    for (uint32_t w = 0; w < workers; ++w) {
+        const auto [h, m] = strat.scratch_traffic(ctx.scratch(w));
+        shard_hits1 += h;
+        shard_misses1 += m;
+    }
+    stats.canon_cache_hits += shard_hits1 - shard_hits0;
+    stats.canon_cache_misses += shard_misses1 - shard_misses0;
+}
+
 /// Round boilerplate shared by both rewrite flavors: network shape and
 /// cache-traffic deltas, stage timing, cut enumeration into the context's
 /// arena, then the shared loop above.  `make_strategy(stats)` builds the
@@ -320,7 +601,8 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
 template <typename StrategyFactory>
 round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
                           uint32_t cut_limit, bool allow_zero_gain,
-                          bool batched, StrategyFactory&& make_strategy)
+                          bool batched, uint32_t num_threads,
+                          StrategyFactory&& make_strategy)
 {
     const auto start = std::chrono::steady_clock::now();
     round_stats stats;
@@ -337,7 +619,12 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
     stats.cut_seconds =
         std::chrono::duration<double>(cuts_done - start).count();
 
-    run_rewrite_loop(network, ctx, stats, allow_zero_gain, batched, strat);
+    if (num_threads >= 1)
+        run_two_phase_round(network, ctx, stats, allow_zero_gain, batched,
+                            num_threads, strat);
+    else
+        run_rewrite_loop(network, ctx, stats, allow_zero_gain, batched,
+                         strat);
 
     stats.ands_after = network.num_ands();
     stats.xors_after = network.num_xors();
@@ -347,8 +634,11 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
     stats.seconds = std::chrono::duration<double>(end - start).count();
     const auto [cache_hits1, cache_misses1] = strat.cache_traffic();
     const auto [db_hits1, db_misses1] = strat.db_traffic();
-    stats.canon_cache_hits = cache_hits1 - cache_hits0;
-    stats.canon_cache_misses = cache_misses1 - cache_misses0;
+    // += : the two-phase engine has already added its per-worker shard
+    // traffic; the shared-cache delta below covers the commit phase and
+    // the whole of the sequential engine.
+    stats.canon_cache_hits += cache_hits1 - cache_hits0;
+    stats.canon_cache_misses += cache_misses1 - cache_misses0;
     stats.db_hits = db_hits1 - db_hits0;
     stats.db_misses = db_misses1 - db_misses0;
     return stats;
@@ -373,6 +663,38 @@ struct mc_strategy {
         const auto& entry = db.lookup_or_build(cls.representative);
         return splice_affine(net, cls.transform, leaves, entry.circuit);
     }
+    /// Commit-phase builder (two-phase engine): identical to
+    /// make_candidate but classifies through the scoring worker's shard,
+    /// where the evaluate phase already paid for the search.  Failures
+    /// are not re-counted — the evaluate phase counted them.
+    std::optional<signal> make_candidate_cached(const truth_table& f,
+                                                std::span<const signal>
+                                                    leaves,
+                                                pass_scratch& sc)
+    {
+        const auto& cls = sc.classification.classify(f);
+        if (!cls.success)
+            return std::nullopt;
+        const auto& entry = db.lookup_or_build(cls.representative);
+        return splice_affine(net, cls.transform, leaves, entry.circuit);
+    }
+    /// Evaluate-phase cost bound (two-phase engine): the database entry's
+    /// AND count.  splice_affine adds only XOR gates around the entry, so
+    /// this equals the real created cost up to structural-hashing savings
+    /// (the commit phase re-measures exactly).  Thread-safe: touches only
+    /// the worker's scratch and the striped database.
+    uint64_t estimated_cost(const truth_table& f, pass_scratch& sc,
+                            bool& ok) const
+    {
+        const auto& cls = sc.classification.classify(f);
+        if (!cls.success) {
+            ++sc.classify_failures;
+            ok = false;
+            return 0;
+        }
+        ok = true;
+        return db.lookup_or_build(cls.representative).num_ands;
+    }
     int64_t mffc_cost(uint32_t root, std::span<const uint32_t> leaves) const
     {
         return mffc_and_count(net, root, leaves);
@@ -381,6 +703,10 @@ struct mc_strategy {
     std::pair<uint64_t, uint64_t> cache_traffic() const
     {
         return {cache.hits(), cache.misses()};
+    }
+    std::pair<uint64_t, uint64_t> scratch_traffic(const pass_scratch& sc) const
+    {
+        return {sc.classification.hits(), sc.classification.misses()};
     }
     std::pair<uint64_t, uint64_t> db_traffic() const
     {
@@ -403,6 +729,26 @@ struct size_strategy {
         const auto& entry = db.lookup_or_build(canon.representative);
         return splice_npn(net, canon.transform, leaves, entry.circuit);
     }
+    /// Commit-phase builder through the scoring worker's shard; see
+    /// mc_strategy::make_candidate_cached.
+    std::optional<signal> make_candidate_cached(const truth_table& f,
+                                                std::span<const signal>
+                                                    leaves,
+                                                pass_scratch& sc)
+    {
+        const auto& canon = sc.npn.canonize(f);
+        const auto& entry = db.lookup_or_build(canon.representative);
+        return splice_npn(net, canon.transform, leaves, entry.circuit);
+    }
+    /// Evaluate-phase cost bound: the entry's gate count (splice_npn adds
+    /// no gates — negations ride on the edges).  See mc_strategy.
+    uint64_t estimated_cost(const truth_table& f, pass_scratch& sc,
+                            bool& ok) const
+    {
+        const auto& canon = sc.npn.canonize(f);
+        ok = true;
+        return db.lookup_or_build(canon.representative).num_gates;
+    }
     int64_t mffc_cost(uint32_t root, std::span<const uint32_t> leaves) const
     {
         return mffc_gate_count(net, root, leaves);
@@ -411,6 +757,10 @@ struct size_strategy {
     std::pair<uint64_t, uint64_t> cache_traffic() const
     {
         return {cache.hits(), cache.misses()};
+    }
+    std::pair<uint64_t, uint64_t> scratch_traffic(const pass_scratch& sc) const
+    {
+        return {sc.npn.hits(), sc.npn.misses()};
     }
     std::pair<uint64_t, uint64_t> db_traffic() const
     {
@@ -461,7 +811,7 @@ round_stats mc_rewrite_round(xag& network, pass_context& ctx,
 {
     return generic_round(network, ctx, params.cut_size, params.cut_limit,
                          params.allow_zero_gain, params.batched_simulation,
-                         [&](round_stats& stats) {
+                         params.num_threads, [&](round_stats& stats) {
                              return mc_strategy{network, ctx.mc_db(),
                                                 ctx.classification(), stats};
                          });
@@ -472,7 +822,7 @@ round_stats size_rewrite_round(xag& network, pass_context& ctx,
 {
     return generic_round(network, ctx, params.cut_size, params.cut_limit,
                          params.allow_zero_gain, params.batched_simulation,
-                         [&](round_stats& stats) {
+                         params.num_threads, [&](round_stats& stats) {
                              return size_strategy{network, ctx.size_db(),
                                                   ctx.npn(), stats};
                          });
@@ -486,6 +836,7 @@ pass_stats mc_rewrite_pass::run(xag& network, pass_context& ctx) const
     pass_stats ps;
     ps.pass_name = name();
     ps.before = stats_of(network);
+    ps.num_threads = std::max(1u, params_.num_threads);
     const auto conv = run_until_convergence(
         network,
         [&](xag& net) { return mc_rewrite_round(net, ctx, params_); },
@@ -501,6 +852,7 @@ pass_stats size_rewrite_pass::run(xag& network, pass_context& ctx) const
     pass_stats ps;
     ps.pass_name = name();
     ps.before = stats_of(network);
+    ps.num_threads = std::max(1u, params_.num_threads);
     const auto conv = run_until_convergence(
         network,
         [&](xag& net) { return size_rewrite_round(net, ctx, params_); },

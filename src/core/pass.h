@@ -15,12 +15,23 @@
 // functions in a single union-cone traversal, canonize/classify through
 // the context caches, database splice, MFFC-gated commit.  mc vs. size
 // differ only in a small strategy bundle (candidate builder + cost model).
+//
+// With `num_threads >= 1` the round runs on the parallel subsystem
+// (src/par/): a work-stealing evaluate phase scores the best candidate
+// per node against the frozen network (per-worker scratch, thread-safe
+// databases), then a sequential commit phase applies non-conflicting
+// winners in node order — bit-identical results for any thread count
+// (docs/parallel.md).  `num_threads == 0` keeps the classic in-place
+// loop, which commits as it scans and so sees its own rewrites within
+// the round.
 #pragma once
 
 #include "cut/cut_enumeration.h"
 #include "db/mc_database.h"
 #include "db/size_database.h"
 #include "npn/npn.h"
+#include "par/scratch.h"
+#include "par/thread_pool.h"
 #include "spectral/classification.h"
 #include "xag/cone_batch.h"
 #include "xag/xag.h"
@@ -48,6 +59,11 @@ struct rewrite_params {
     /// (cone_simulator).  The per-cut cone_function path is retained for
     /// A/B measurement (bench/micro_core) — both produce identical results.
     bool batched_simulation = true;
+    /// 0 = the classic sequential in-place loop (default).  >= 1 = the
+    /// deterministic two-phase engine on that many workers; results are
+    /// bit-identical for every value >= 1 (docs/parallel.md), so
+    /// `num_threads = 1` is the reference run of the parallel engine.
+    uint32_t num_threads = 0;
     mc_database_params db;
 };
 
@@ -56,6 +72,7 @@ struct size_rewrite_params {
     uint32_t cut_limit = 12;
     bool allow_zero_gain = false;
     bool batched_simulation = true; ///< see rewrite_params
+    uint32_t num_threads = 0;       ///< see rewrite_params
     size_database_params db;
 };
 
@@ -123,6 +140,9 @@ struct pass_stats {
     xag_stats after{};
     double seconds = 0.0;
     bool converged = false;
+    /// Workers the pass ran on: 1 for the sequential engine and for
+    /// non-rewrite passes, the two-phase engine's worker count otherwise.
+    uint32_t num_threads = 1;
     std::vector<round_stats> rounds; ///< rewrite passes only
     uint32_t xor_blocks = 0;         ///< xor_resynthesis only
     uint32_t xor_pairs_extracted = 0; ///< xor_resynthesis only
@@ -156,6 +176,16 @@ public:
     cut_sets& cuts() { return cuts_; }
     cone_simulator& simulator() { return simulator_; }
 
+    /// Worker team for the two-phase engine: exactly `num_threads`
+    /// workers (>= 1), rebuilt only when the requested count changes.
+    thread_pool& pool(uint32_t num_threads);
+
+    /// Per-worker scratch (src/par/scratch.h), created on first request
+    /// and persistent across rounds/passes/flows like every other context
+    /// resource.  Not thread-safe to *create* — the engine touches every
+    /// worker's scratch once before entering the parallel phase.
+    pass_scratch& scratch(uint32_t worker);
+
     /// Adopt external components (nullptr restores the owned instance).
     /// The pointee must outlive the context's use.
     void adopt(mc_database* db) { external_mc_db_ = db; }
@@ -180,6 +210,8 @@ private:
     npn_cache* external_npn_ = nullptr;
     cut_sets cuts_;
     cone_simulator simulator_;
+    std::unique_ptr<thread_pool> pool_;
+    std::vector<std::unique_ptr<pass_scratch>> scratch_;
 };
 
 // ------------------------------------------------------------------ passes

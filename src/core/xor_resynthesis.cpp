@@ -170,7 +170,8 @@ private:
 
 } // namespace
 
-xor_resynthesis_stats xor_resynthesis(xag& network)
+xor_resynthesis_stats xor_resynthesis(xag& network,
+                                      const xor_resynthesis_params& params)
 {
     xor_resynthesis_stats stats;
     stats.xors_before = network.num_xors();
@@ -227,15 +228,46 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
     };
     std::vector<planned_pair> plan;
 
-    // Rows beyond this width are emitted as plain chains: pairing work is
-    // quadratic in the row width and the widest rows (hash-function
-    // accumulators with hundreds of terms) contribute the least sharing.
-    constexpr size_t max_pairing_width = 16;
+    // Wide rows take part in pair extraction too (the old code emitted
+    // everything above 16 terms as a plain chain).  Pair seeding is
+    // quadratic per row, so admission is narrowest-first under a Σwidth²
+    // work budget (plus an optional hard cap): every row of rewrite-scale
+    // circuits qualifies, while the widest accumulator rows of full-hash
+    // linear systems — whose unbounded seeding would be ~10¹⁰ operations
+    // on MD5 — keep their existing trees.  Admission depends only on the
+    // multiset of row widths, so the result is deterministic.
+    const size_t max_pairing_width = params.max_pairing_width == 0
+                                         ? SIZE_MAX
+                                         : params.max_pairing_width;
 
     const std::vector<uint8_t> narrow = [&] {
         std::vector<uint8_t> flags(rows.size(), 0);
-        for (size_t r = 0; r < rows.size(); ++r)
-            flags[r] = rows[r].terms.size() <= max_pairing_width;
+        std::vector<uint32_t> by_width(rows.size());
+        for (uint32_t r = 0; r < rows.size(); ++r) {
+            by_width[r] = r;
+            stats.widest_row =
+                std::max(stats.widest_row,
+                         static_cast<uint32_t>(rows[r].terms.size()));
+        }
+        std::stable_sort(by_width.begin(), by_width.end(),
+                         [&](uint32_t a, uint32_t b) {
+                             return rows[a].terms.size() <
+                                    rows[b].terms.size();
+                         });
+        uint64_t work = 0;
+        for (const auto r : by_width) {
+            const auto w = static_cast<uint64_t>(rows[r].terms.size());
+            if (w > max_pairing_width)
+                break; // sorted: every later row is at least as wide
+            if (params.pairing_work_budget != 0 &&
+                work + w * w > params.pairing_work_budget)
+                break;
+            work += w * w;
+            flags[r] = 1;
+            ++stats.rows_paired;
+            stats.widest_row_paired =
+                std::max(stats.widest_row_paired, static_cast<uint32_t>(w));
+        }
         return flags;
     }();
     std::vector<uint32_t> slot(rows.size(), 0); // narrow row -> bitset row
@@ -367,35 +399,65 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
         if (is_protected[term])
             network.take_ref(signal{term, false});
 
-    // Materialize: planned pair gates first, then one XOR chain per row.
-    // Terminals merged away by cascades are followed via resolve().
+    // Materialize lazily: a planned pair gate is created the first time a
+    // chain consumes it (recursively: pairs of pairs), so its cost lands in
+    // that chain's `created` and the gain check below charges the first
+    // consumer for it — later consumers share it for free, and a pair no
+    // chain ever uses is never built.  Building all pairs up front instead
+    // charged them to nobody, which let wide-row pairing *grow* the
+    // network when rebuilds were rejected.  Terminals merged away by
+    // cascades are followed via resolve().
     std::vector<signal> planned_signal(plan.size());
-    const auto signal_of = [&](uint32_t term) {
-        if (term >= num_terms)
-            return network.resolve(planned_signal[term - num_terms]);
-        return network.resolve(signal{term_of[term], false});
+    std::vector<uint8_t> planned_built(plan.size(), 0);
+    std::vector<uint32_t> built_this_row;
+    const auto signal_of = [&](auto&& self, uint32_t term) -> signal {
+        if (term < num_terms)
+            return network.resolve(signal{term_of[term], false});
+        const auto idx = term - num_terms;
+        if (!planned_built[idx]) {
+            const auto& p = plan[idx];
+            const auto g = network.create_xor(self(self, p.a),
+                                              self(self, p.b));
+            planned_signal[idx] = g;
+            planned_built[idx] = 1;
+            built_this_row.push_back(idx);
+            network.take_ref(g);
+        }
+        return network.resolve(planned_signal[idx]);
     };
-    for (const auto& p : plan) {
-        const auto g = network.create_xor(signal_of(p.a), signal_of(p.b));
-        planned_signal[p.id - num_terms] = g;
-        network.take_ref(g);
-    }
+    // Drop the pair gates a rejected rebuild materialized (reverse build
+    // order releases pair-of-pair parents before their children): keeping
+    // them would hand later rows gates whose cost no gain check ever
+    // approved.  A later chain that does profit re-creates them and pays.
+    const auto rollback_pairs = [&] {
+        for (auto it = built_this_row.rbegin(); it != built_this_row.rend();
+             ++it) {
+            network.release_ref(planned_signal[*it]);
+            planned_built[*it] = 0;
+        }
+    };
 
     for (uint32_t r = 0; r < rows.size(); ++r) {
         const auto& row = rows[r];
         if (network.is_dead(row.root))
             continue; // collapsed by an earlier substitution in this pass
         if (!narrow[r])
-            continue; // wide accumulators keep their existing trees
+            continue; // rows beyond the pairing budget keep their trees
+        built_this_row.clear();
         const auto xors_before_row = network.num_xors();
         auto acc = network.get_constant(row.constant);
         bits.for_each(slot[r], [&](uint32_t term) {
-            acc = network.create_xor(acc, signal_of(term));
+            acc = network.create_xor(acc, signal_of(signal_of, term));
         });
         const auto created = network.num_xors() - xors_before_row;
         const auto resolved = network.resolve(acc);
-        if (resolved.node() == row.root)
-            continue; // already in optimal form
+        if (resolved.node() == row.root) {
+            // Already in optimal form: every chain gate strash-hit an
+            // existing node, so only this row's fresh pair gates (if any)
+            // need dropping.
+            rollback_pairs();
+            continue;
+        }
         network.take_ref(resolved);
         // Gain check mirroring the rewriting engine: what the new chain
         // costs (after strashing) vs. the XOR gates exclusively owned by
@@ -408,14 +470,17 @@ xor_resynthesis_stats xor_resynthesis(xag& network)
             network.release_ref(network.resolve(resolved));
         } else {
             network.release_ref(resolved);
+            rollback_pairs();
         }
     }
 
     // Release the tokens on the nodes they were taken on: a reference taken
     // on a node that was merged away afterwards must not be released on the
-    // merge survivor (that would steal one of its real references).
+    // merge survivor (that would steal one of its real references).  Pair
+    // gates only the rejected rebuilds needed die right here.
     for (const auto& p : plan)
-        network.release_ref(planned_signal[p.id - num_terms]);
+        if (planned_built[p.id - num_terms])
+            network.release_ref(planned_signal[p.id - num_terms]);
     for (uint32_t term = 0; term < base_size; ++term)
         if (is_protected[term])
             network.release_ref(signal{term, false});

@@ -17,16 +17,37 @@
 
 namespace mcx {
 
+struct xor_resynthesis_params {
+    /// Hard width cap: rows wider than this never take part in pair
+    /// extraction (0, the default, disables the cap — the pre-PR-4
+    /// behavior was a fixed cap of 16).
+    uint32_t max_pairing_width = 0;
+    /// Seeding-work budget: rows join the pairing narrowest-first while
+    /// the cumulative sum of width² stays under this bound (pair seeding
+    /// is quadratic per row, and extraction cost tracks the same sum).
+    /// The default admits every row of rewrite-scale circuits — 16-term
+    /// and 200-term rows alike — while full-hash linear systems (MD5's
+    /// widest accumulator rows run to ~4 500 terms, Σwidth² ≈ 8.5 · 10¹⁰)
+    /// degrade gracefully: their widest rows keep their trees exactly as
+    /// the old hard cap left them.  0 = unlimited.  Selection depends
+    /// only on the sorted row widths, so it is deterministic.
+    uint64_t pairing_work_budget = 2'000'000;
+};
+
 struct xor_resynthesis_stats {
     uint32_t xors_before = 0;
     uint32_t xors_after = 0;
     uint32_t blocks = 0;         ///< linear block roots rewritten
     uint32_t pairs_extracted = 0; ///< shared pair gates materialized
+    uint32_t widest_row = 0;      ///< terms in the widest linear row seen
+    uint32_t rows_paired = 0;     ///< rows admitted to pair extraction
+    uint32_t widest_row_paired = 0; ///< widest row admitted
 };
 
 /// Rewrite all maximal linear blocks.  Function-preserving; the AND count
 /// never increases (it can drop when collapsed linear cones let downstream
 /// AND gates constant-fold).
-xor_resynthesis_stats xor_resynthesis(xag& network);
+xor_resynthesis_stats xor_resynthesis(xag& network,
+                                      const xor_resynthesis_params& params = {});
 
 } // namespace mcx

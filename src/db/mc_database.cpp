@@ -81,41 +81,39 @@ xag deserialize_single_output(const std::string& text)
 const mc_database::entry& mc_database::lookup_or_build(
     const truth_table& representative)
 {
-    if (const auto it = entries_.find(representative); it != entries_.end()) {
-        ++hits_;
-        return it->second;
-    }
-    ++misses_;
-
-    entry e;
-    bool built = false;
-    if (params_.use_exact) {
-        const auto exact = exact_mc_synthesis(
-            representative, {.max_ands = params_.exact_max_ands,
-                             .conflict_budget = params_.exact_conflict_budget});
-        if (exact.success) {
-            e.circuit = exact.circuit;
-            e.num_ands = exact.num_ands;
-            e.optimal = exact.optimal;
-            built = true;
-            ++exact_entries_;
+    return entries_.lookup_or_build(representative, [&](const truth_table&
+                                                            rep) {
+        entry e;
+        bool built = false;
+        if (params_.use_exact) {
+            const auto exact = exact_mc_synthesis(
+                rep, {.max_ands = params_.exact_max_ands,
+                      .conflict_budget = params_.exact_conflict_budget});
+            if (exact.success) {
+                e.circuit = exact.circuit;
+                e.num_ands = exact.num_ands;
+                e.optimal = exact.optimal;
+                built = true;
+                exact_entries_.fetch_add(1, std::memory_order_relaxed);
+            }
         }
-    }
-    if (!built) {
-        e.circuit = heuristic_mc_circuit(representative);
-        e.num_ands = e.circuit.num_ands();
-        e.optimal = false;
-        ++heuristic_entries_;
-    }
-    return entries_.emplace(representative, std::move(e)).first->second;
+        if (!built) {
+            e.circuit = heuristic_mc_circuit(rep);
+            e.num_ands = e.circuit.num_ands();
+            e.optimal = false;
+            heuristic_entries_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return e;
+    });
 }
 
 void mc_database::save(std::ostream& os) const
 {
-    for (const auto& [tt, e] : entries_)
+    entries_.for_each([&](const truth_table& tt, const entry& e) {
         os << tt.num_vars() << ' ' << tt.to_hex() << ' ' << e.num_ands << ' '
            << (e.optimal ? 1 : 0) << ' ' << serialize_single_output(e.circuit)
            << '\n';
+    });
 }
 
 void mc_database::save_file(const std::string& path) const
@@ -144,9 +142,10 @@ mc_database mc_database::load(std::istream& is, mc_database_params params)
         std::getline(ls, rest);
         e.circuit = deserialize_single_output(rest);
         e.optimal = optimal != 0;
-        (e.optimal ? db.exact_entries_ : db.heuristic_entries_) += 1;
-        db.entries_.emplace(truth_table::from_hex(num_vars, hex),
-                            std::move(e));
+        (e.optimal ? db.exact_entries_ : db.heuristic_entries_)
+            .fetch_add(1, std::memory_order_relaxed);
+        db.entries_.insert(truth_table::from_hex(num_vars, hex),
+                           std::move(e));
     }
     return db;
 }
@@ -166,7 +165,7 @@ mc_database::combined_xag mc_database::export_combined() const
     std::vector<signal> inputs;
     for (int i = 0; i < 6; ++i)
         inputs.push_back(result.network.create_pi());
-    for (const auto& [tt, e] : entries_) {
+    entries_.for_each([&](const truth_table& tt, const entry& e) {
         // Entry circuits have tt.num_vars() inputs; wire them to the first
         // inputs of the shared 6-input network (structural hashing shares
         // common substructure across entries, like the paper's XAG_DB).
@@ -175,7 +174,7 @@ mc_database::combined_xag mc_database::export_combined() const
         const auto outs = insert_network(result.network, e.circuit, leaves);
         result.network.create_po(outs[0]);
         result.representatives.push_back(tt);
-    }
+    });
     return result;
 }
 

@@ -7,16 +7,23 @@
 // within its conflict budget, heuristically otherwise — and memoized.  The
 // database can be serialized and reloaded so that, like the paper's file,
 // it is "created once and reused for several rewriting calls".
+//
+// Storage is a sharded_store (src/db/sharded_store.h): lookups are
+// thread-safe behind striped locks, and a missed class is synthesized
+// exactly once — concurrent misses of different classes run their
+// exact-SAT searches in parallel while lookups of a class being built
+// wait for it (the parallel rewrite round's requirement, docs/parallel.md).
 #pragma once
 
+#include "db/sharded_store.h"
 #include "exact/exact_mc.h"
 #include "tt/truth_table.h"
 #include "xag/xag.h"
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace mcx {
@@ -37,18 +44,46 @@ public:
 
     explicit mc_database(mc_database_params params = {}) : params_{params} {}
 
+    // Movable (load_file returns by value); the atomic counters need the
+    // explicit member-wise move.  Not meant to be moved while other
+    // threads are using the source.
+    mc_database(mc_database&& other) noexcept
+        : params_{other.params_}, entries_{std::move(other.entries_)},
+          exact_entries_{other.exact_entries()},
+          heuristic_entries_{other.heuristic_entries()}
+    {
+    }
+    mc_database& operator=(mc_database&& other) noexcept
+    {
+        params_ = other.params_;
+        entries_ = std::move(other.entries_);
+        exact_entries_.store(other.exact_entries());
+        heuristic_entries_.store(other.heuristic_entries());
+        return *this;
+    }
+
     /// Circuit for a class representative (at most 6 variables); synthesized
     /// and memoized on first use.  The entry map is itself the memo layer of
     /// the hot loop's final stage: a hit is a hash lookup, a miss runs
-    /// exact/heuristic synthesis once per class, ever.
+    /// exact/heuristic synthesis once per class, ever — also under
+    /// concurrent lookups (see the file comment).  The returned reference
+    /// stays valid for the database's lifetime.
     const entry& lookup_or_build(const truth_table& representative);
 
     size_t size() const { return entries_.size(); }
-    uint64_t exact_entries() const { return exact_entries_; }
-    uint64_t heuristic_entries() const { return heuristic_entries_; }
-    /// Lookups served from the memoized entries vs. synthesis runs.
-    uint64_t hits() const { return hits_; }
-    uint64_t misses() const { return misses_; }
+    uint64_t exact_entries() const
+    {
+        return exact_entries_.load(std::memory_order_relaxed);
+    }
+    uint64_t heuristic_entries() const
+    {
+        return heuristic_entries_.load(std::memory_order_relaxed);
+    }
+    /// Lookups served from the memoized entries vs. synthesis runs.  A
+    /// lookup that waits for another thread's in-flight synthesis counts
+    /// as a hit, so these totals are thread-count-independent.
+    uint64_t hits() const { return entries_.hits(); }
+    uint64_t misses() const { return entries_.misses(); }
 
     /// Text serialization (one entry per line).
     void save(std::ostream& os) const;
@@ -69,11 +104,9 @@ public:
 
 private:
     mc_database_params params_;
-    std::unordered_map<truth_table, entry, truth_table_hash> entries_;
-    uint64_t exact_entries_ = 0;
-    uint64_t heuristic_entries_ = 0;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
+    sharded_store<truth_table, entry, truth_table_hash> entries_;
+    std::atomic<uint64_t> exact_entries_{0};
+    std::atomic<uint64_t> heuristic_entries_{0};
 };
 
 /// Serialize a single-output XAG as a compact token stream (used by the

@@ -8,28 +8,25 @@ namespace mcx {
 const size_database::entry& size_database::lookup_or_build(
     const truth_table& representative)
 {
-    if (const auto it = entries_.find(representative); it != entries_.end()) {
-        ++hits_;
-        return it->second;
-    }
-    ++misses_;
-
-    entry e;
-    const auto exact = exact_size_synthesis(
-        representative, {.max_gates = params_.exact_max_gates,
-                         .conflict_budget = params_.exact_conflict_budget});
-    if (exact.success) {
-        e.circuit = exact.circuit;
-        e.num_gates = exact.num_gates;
-        e.optimal = exact.optimal;
-    } else {
-        // Fallback: the MC heuristic still yields a correct (if larger)
-        // structure.
-        e.circuit = heuristic_mc_circuit(representative);
-        e.num_gates = e.circuit.num_gates();
-        e.optimal = false;
-    }
-    return entries_.emplace(representative, std::move(e)).first->second;
+    return entries_.lookup_or_build(
+        representative, [&](const truth_table& rep) {
+            entry e;
+            const auto exact = exact_size_synthesis(
+                rep, {.max_gates = params_.exact_max_gates,
+                      .conflict_budget = params_.exact_conflict_budget});
+            if (exact.success) {
+                e.circuit = exact.circuit;
+                e.num_gates = exact.num_gates;
+                e.optimal = exact.optimal;
+            } else {
+                // Fallback: the MC heuristic still yields a correct (if
+                // larger) structure.
+                e.circuit = heuristic_mc_circuit(rep);
+                e.num_gates = e.circuit.num_gates();
+                e.optimal = false;
+            }
+            return e;
+        });
 }
 
 } // namespace mcx

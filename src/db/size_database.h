@@ -1,13 +1,16 @@
 // Database of gate-count-minimal XAGs per NPN-4 representative: the
 // pre-computed structures behind the generic size-optimization baseline
 // (DESIGN.md substitution X2).
+//
+// Like mc_database, storage is a sharded_store: thread-safe striped
+// lookups with once-per-class miss synthesis (docs/parallel.md).
 #pragma once
 
+#include "db/sharded_store.h"
 #include "tt/truth_table.h"
 #include "xag/xag.h"
 
 #include <cstdint>
-#include <unordered_map>
 
 namespace mcx {
 
@@ -28,18 +31,19 @@ public:
         : params_{params} {}
 
     /// Circuit for an NPN representative (at most 4 variables).
+    /// Thread-safe; synthesized once per class, reference valid for the
+    /// database's lifetime.
     const entry& lookup_or_build(const truth_table& representative);
 
     size_t size() const { return entries_.size(); }
-    /// Lookups served from the memoized entries vs. synthesis runs.
-    uint64_t hits() const { return hits_; }
-    uint64_t misses() const { return misses_; }
+    /// Lookups served from the memoized entries vs. synthesis runs (a
+    /// lookup waiting on an in-flight synthesis counts as a hit).
+    uint64_t hits() const { return entries_.hits(); }
+    uint64_t misses() const { return entries_.misses(); }
 
 private:
     size_database_params params_;
-    std::unordered_map<truth_table, entry, truth_table_hash> entries_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
+    sharded_store<truth_table, entry, truth_table_hash> entries_;
 };
 
 } // namespace mcx

@@ -1,0 +1,228 @@
+#include "par/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcx {
+
+namespace {
+
+/// Set while the current thread executes a parallel_for body (either as a
+/// pool worker or as the caller); guards against re-entering the team.
+thread_local bool in_parallel_region = false;
+
+} // namespace
+
+// -------------------------------------------------------------- work_deque
+
+void work_deque::reset(size_t capacity)
+{
+    if (buffer_.size() < capacity)
+        buffer_ = std::vector<std::atomic<uint32_t>>(capacity);
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+}
+
+void work_deque::push(uint32_t chunk)
+{
+    const auto b = bottom_.load(std::memory_order_relaxed);
+    buffer_[static_cast<size_t>(b)].store(chunk, std::memory_order_relaxed);
+    // Publish the element before making it visible to thieves.
+    bottom_.store(b + 1, std::memory_order_release);
+}
+
+bool work_deque::pop(uint32_t& chunk)
+{
+    const auto b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    // The fence orders the bottom_ store before the top_ load — the owner
+    // must see any steal that already claimed this last element.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    auto t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false; // empty
+    }
+    chunk = buffer_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return false; // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return true;
+}
+
+bool work_deque::steal(uint32_t& chunk)
+{
+    // Retry on a lost CAS (another thief or the owner claimed the top
+    // element): the deque may still hold work, and reporting "empty" here
+    // would let a worker abandon it.  top_ strictly increases on every
+    // retry, so the loop terminates.
+    while (true) {
+        auto t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const auto b = bottom_.load(std::memory_order_acquire);
+        if (t >= b)
+            return false; // empty
+        chunk =
+            buffer_[static_cast<size_t>(t)].load(std::memory_order_relaxed);
+        if (top_.compare_exchange_strong(t, t + 1,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_relaxed))
+            return true;
+    }
+}
+
+// -------------------------------------------------------------- thread_pool
+
+thread_pool::thread_pool(uint32_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    num_workers_ = num_threads;
+    deques_.reserve(num_workers_);
+    for (uint32_t w = 0; w < num_workers_; ++w)
+        deques_.push_back(std::make_unique<work_deque>());
+    for (uint32_t w = 1; w < num_workers_; ++w)
+        threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+thread_pool::~thread_pool()
+{
+    {
+        std::lock_guard lock{mutex_};
+        shutdown_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+}
+
+void thread_pool::worker_loop(uint32_t worker)
+{
+    uint64_t seen_job = 0;
+    while (true) {
+        {
+            std::unique_lock lock{mutex_};
+            work_ready_.wait(lock, [&] {
+                return shutdown_ || job_id_ != seen_job;
+            });
+            if (shutdown_)
+                return;
+            seen_job = job_id_;
+        }
+        run_job(worker);
+        {
+            std::lock_guard lock{mutex_};
+            --workers_running_;
+        }
+        work_done_.notify_one();
+    }
+}
+
+void thread_pool::run_job(uint32_t worker)
+{
+    in_parallel_region = true;
+    auto& own = *deques_[worker];
+    uint32_t chunk = 0;
+    while (!cancelled_.load(std::memory_order_relaxed)) {
+        if (!own.pop(chunk)) {
+            // Own deque dry: sweep the other workers' tops once; give up
+            // when a full sweep yields nothing (all work claimed — any
+            // still-running chunk is owned by the worker executing it).
+            bool stolen = false;
+            for (uint32_t i = 1; i < num_workers_ && !stolen; ++i)
+                stolen = deques_[(worker + i) % num_workers_]->steal(chunk);
+            if (!stolen)
+                break;
+        }
+        const size_t lo = job_begin_ + size_t{chunk} * job_grain_;
+        const size_t hi = std::min(job_end_, lo + job_grain_);
+        try {
+            for (size_t i = lo;
+                 i < hi && !cancelled_.load(std::memory_order_relaxed); ++i)
+                (*body_)(i, worker);
+        } catch (...) {
+            {
+                std::lock_guard lock{exception_mutex_};
+                if (!first_exception_)
+                    first_exception_ = std::current_exception();
+            }
+            cancelled_.store(true, std::memory_order_relaxed);
+        }
+    }
+    in_parallel_region = false;
+}
+
+void thread_pool::parallel_for(
+    size_t begin, size_t end,
+    const std::function<void(size_t, uint32_t)>& body, size_t grain)
+{
+    if (in_parallel_region)
+        throw std::logic_error{
+            "thread_pool: nested parallel_for is not supported"};
+    if (begin >= end)
+        return;
+
+    const size_t count = end - begin;
+    if (num_workers_ == 1 || count == 1) {
+        // Inline fast path: no chunking, no synchronization.
+        in_parallel_region = true;
+        try {
+            for (size_t i = begin; i < end; ++i)
+                body(i, 0);
+        } catch (...) {
+            in_parallel_region = false;
+            throw;
+        }
+        in_parallel_region = false;
+        return;
+    }
+
+    if (grain == 0)
+        grain = std::max<size_t>(1, count / (size_t{num_workers_} * 8));
+    const auto chunks =
+        static_cast<uint32_t>((count + grain - 1) / grain);
+
+    body_ = &body;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = grain;
+    cancelled_.store(false, std::memory_order_relaxed);
+    first_exception_ = nullptr;
+
+    // Deal chunks round-robin so every worker starts with a share and
+    // stealing only happens once the shares get unbalanced.
+    for (uint32_t w = 0; w < num_workers_; ++w)
+        deques_[w]->reset((chunks + num_workers_ - 1) / num_workers_);
+    for (uint32_t c = 0; c < chunks; ++c)
+        deques_[c % num_workers_]->push(c);
+
+    {
+        std::lock_guard lock{mutex_};
+        ++job_id_;
+        workers_running_ = num_workers_ - 1;
+    }
+    work_ready_.notify_all();
+
+    run_job(0); // the caller is worker 0
+
+    {
+        std::unique_lock lock{mutex_};
+        work_done_.wait(lock, [&] { return workers_running_ == 0; });
+    }
+    body_ = nullptr;
+
+    if (first_exception_)
+        std::rethrow_exception(first_exception_);
+}
+
+} // namespace mcx

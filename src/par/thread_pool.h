@@ -1,0 +1,118 @@
+// Work-stealing thread pool — the execution engine behind the parallel
+// rewrite round (docs/parallel.md).
+//
+// The pool owns N workers: worker 0 is the thread that calls
+// parallel_for (it participates, so a 1-worker pool runs everything
+// inline on the caller with no synchronization), workers 1..N-1 are
+// threads spawned at construction and parked on a condition variable
+// between jobs.  A parallel_for splits its index range into chunks,
+// deals them round-robin into per-worker Chase-Lev deques, and lets every
+// worker drain its own deque bottom-first and steal from the top of the
+// others' when it runs dry — the classic recipe: an owner's pop and a
+// thief's steal only contend on the last element, so a worker whose
+// chunks run long loses its queued work to idle workers instead of
+// stalling them.
+//
+// Guarantees:
+//  * every index in [begin, end) is visited exactly once, on some worker;
+//  * the first exception thrown by the body is captured and rethrown on
+//    the calling thread once every worker has stopped (remaining chunks
+//    are abandoned, in-flight ones finish);
+//  * nested parallel_for calls — from the body, on any worker — throw
+//    std::logic_error instead of deadlocking on the worker team;
+//  * the pool itself imposes no ordering, so callers that need
+//    determinism must make the body's work independent per index and
+//    combine results by index afterwards (the two-phase rewrite round's
+//    evaluate/commit split, src/core/pass.cpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcx {
+
+/// Fixed-capacity Chase-Lev work-stealing deque of chunk indices.  The
+/// owner pushes and pops at the bottom; thieves take from the top.  The
+/// pool sizes the buffer to the chunk count of the current job, so the
+/// buffer never grows and the classic algorithm applies without the
+/// resize step.
+class work_deque {
+public:
+    void reset(size_t capacity);
+
+    /// Owner only.  Precondition: fewer than `capacity` elements pushed
+    /// since reset (the pool deals each chunk to exactly one deque).
+    void push(uint32_t chunk);
+
+    /// Owner only: take the most recently pushed chunk.  Returns false
+    /// when the deque is empty (or the last element was lost to a thief).
+    bool pop(uint32_t& chunk);
+
+    /// Any thread: take the oldest chunk.  Returns false when empty or
+    /// when the steal raced with the owner and lost.
+    bool steal(uint32_t& chunk);
+
+private:
+    std::atomic<int64_t> top_{0};
+    std::atomic<int64_t> bottom_{0};
+    std::vector<std::atomic<uint32_t>> buffer_;
+};
+
+class thread_pool {
+public:
+    /// `num_threads` = 0 picks std::thread::hardware_concurrency().
+    /// A 1-worker pool spawns no threads and runs parallel_for inline.
+    explicit thread_pool(uint32_t num_threads = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    uint32_t num_workers() const { return num_workers_; }
+
+    /// Invoke `body(index, worker)` exactly once for every index in
+    /// [begin, end), with worker in [0, num_workers()).  Blocks until all
+    /// indices are done; rethrows the first body exception.  Indices are
+    /// grouped into chunks of `grain` (0 = automatic) that are stolen
+    /// whole, so neighbouring indices usually land on the same worker.
+    /// Throws std::logic_error when called from inside a parallel_for
+    /// body (the worker team cannot be re-entered).
+    void parallel_for(size_t begin, size_t end,
+                      const std::function<void(size_t, uint32_t)>& body,
+                      size_t grain = 0);
+
+private:
+    void worker_loop(uint32_t worker);
+    void run_job(uint32_t worker);
+
+    uint32_t num_workers_;
+    std::vector<std::thread> threads_;
+    std::vector<std::unique_ptr<work_deque>> deques_;
+
+    // Current job (valid while job_active_); workers re-check under
+    // mutex_ on wake-up.
+    const std::function<void(size_t, uint32_t)>* body_ = nullptr;
+    size_t job_begin_ = 0;
+    size_t job_end_ = 0;
+    size_t job_grain_ = 1;
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable work_done_;
+    uint64_t job_id_ = 0;          ///< bumped per parallel_for
+    uint32_t workers_running_ = 0; ///< helpers still inside run_job
+    bool shutdown_ = false;
+
+    std::atomic<bool> cancelled_{false};
+    std::exception_ptr first_exception_;
+    std::mutex exception_mutex_;
+};
+
+} // namespace mcx

@@ -393,6 +393,16 @@ private:
         return 0;
     }
 
+    /// Single-word candidate as one sortable integer: key in the high 64
+    /// bits, complemented insertion index (m, c) below — descending order
+    /// on the packed value is descending by key with ties broken by
+    /// insertion order, the baseline's stable order.
+    static unsigned __int128 pack_item(uint64_t key, uint32_t m, bool c_bit)
+    {
+        return (static_cast<unsigned __int128>(key) << 8) |
+               (255u - ((m << 1) | static_cast<uint32_t>(c_bit)));
+    }
+
     /// The baseline's dominance prune, O(suffix) and sort-free: the sorted
     /// descending bound sequence is replayed from `unused_mag_` bucket
     /// counts and compared element by element against the incumbent suffix.
@@ -440,26 +450,159 @@ private:
         // entry can never be processed: the sorted loop below breaks at the
         // first one, and the incumbent block only grows while the loop
         // runs.  Dropping them here (one key compare each, usually decided
-        // by word 0) keeps the sort to the handful of survivors.
+        // by word 0) keeps the sort to the handful of survivors.  At the
+        // last level ties are dropped too — a terminal tie's recursion is
+        // a no-op (see the ranked loop), so only strict improvements
+        // matter, and most last-level nodes then sort and process nothing.
         const bool entry_best = best_complete_;
+        const bool drop_ties = entry_best && level == n_;
         const block_keys entry_key = best_key_[level];
 
         auto& cands = cand_pool_[level];
+        auto& items = item_pool_[level];
         uint32_t count = 0;
         auto& base = coset_base_[level];
         auto& xlat = coset_xlat_[level];
         auto& gathered = coset_block_[level];
-        base.fill(0xff);
         const auto& neg = neg_[level];
+
+        // Sub-word fast path for one- and two-row blocks: the packed g_
+        // lanes already hold one lane per candidate, so a SWAR negate +
+        // bias builds the key bytes of eight candidates per word, and for
+        // two-row blocks a byte interleave assembles four candidates'
+        // 16-bit keys per word (spectrum_zip8_*).  Key values are bit-for-
+        // bit the ones the general gather below produces, so ordering,
+        // pruning, and results are untouched — only the per-candidate
+        // work disappears.  This is where small functions (4 inputs) used
+        // to trail the >= 4x gate: their search lives almost entirely on
+        // these levels.
+        const bool subword = half <= 4;
+        if (subword) {
+            const uint32_t g_words = size_ <= 8 ? 1 : size_ >> 3;
+            const uint64_t sign0 =
+                (neg[0] & 0xff) != 0 ? ~uint64_t{0} : 0;
+            if (half == 1) {
+                // key = ((±g[m]) ^ 0x80) << 56 | 0x80 in the lower bytes.
+                for (uint32_t i = 0; i < g_words; ++i) {
+                    sub_c0_[i] = spectrum_negate_if(g_[i], sign0) ^
+                                 spectrum_lane_high;
+                    sub_c1_[i] = spectrum_negate_if(g_[i], ~sign0) ^
+                                 spectrum_lane_high;
+                }
+            } else if (half == 2) {
+                const uint64_t sign1 =
+                    (neg[0] & 0xff00) != 0 ? ~uint64_t{0} : 0;
+                // Row 1 of candidate m is g[m ^ m1]: one XOR-translate
+                // aligns it under row 0 for every candidate at once.
+                auto g2 = g_;
+                spectrum_translate(g2.data(), size_, m_table_[1]);
+                for (uint32_t i = 0; i < g_words; ++i) {
+                    const auto a0 = spectrum_negate_if(g_[i], sign0) ^
+                                    spectrum_lane_high;
+                    const auto a1 = spectrum_negate_if(g2[i], sign1) ^
+                                    spectrum_lane_high;
+                    const auto b0 = spectrum_negate_if(g_[i], ~sign0) ^
+                                    spectrum_lane_high;
+                    const auto b1 = spectrum_negate_if(g2[i], ~sign1) ^
+                                    spectrum_lane_high;
+                    sub_c0_[2 * i] = spectrum_zip8_lo(a1, a0);
+                    sub_c0_[2 * i + 1] = spectrum_zip8_hi(a1, a0);
+                    sub_c1_[2 * i] = spectrum_zip8_lo(b1, b0);
+                    sub_c1_[2 * i + 1] = spectrum_zip8_hi(b1, b0);
+                }
+            } else {
+                // Four rows (0, m1, m2, m1^m2): three XOR-translates line
+                // the rows of every candidate up vertically, two byte
+                // zips + one 16-bit zip assemble two 32-bit candidate
+                // keys per word.
+                std::array<std::array<uint64_t, 8>, 4> rows_lanes;
+                rows_lanes[0] = g_;
+                for (uint32_t r = 1; r < 4; ++r) {
+                    rows_lanes[r] = g_;
+                    spectrum_translate(rows_lanes[r].data(), size_,
+                                       m_table_[r]);
+                }
+                std::array<uint64_t, 4> sign;
+                for (uint32_t r = 0; r < 4; ++r)
+                    sign[r] = (neg[0] & (uint64_t{0xff} << (8 * r))) != 0
+                                  ? ~uint64_t{0}
+                                  : 0;
+                for (uint32_t i = 0; i < g_words; ++i) {
+                    std::array<uint64_t, 4> a, b;
+                    for (uint32_t r = 0; r < 4; ++r) {
+                        a[r] = spectrum_negate_if(rows_lanes[r][i],
+                                                  sign[r]) ^
+                               spectrum_lane_high;
+                        b[r] = spectrum_negate_if(rows_lanes[r][i],
+                                                  ~sign[r]) ^
+                               spectrum_lane_high;
+                    }
+                    // 16-bit units (row0<<8|row1) and (row2<<8|row3),
+                    // then 32-bit units (rows0-1 << 16 | rows2-3).
+                    const auto a01_lo = spectrum_zip8_lo(a[1], a[0]);
+                    const auto a01_hi = spectrum_zip8_hi(a[1], a[0]);
+                    const auto a23_lo = spectrum_zip8_lo(a[3], a[2]);
+                    const auto a23_hi = spectrum_zip8_hi(a[3], a[2]);
+                    sub_c0_[4 * i] = spectrum_zip16_lo(a23_lo, a01_lo);
+                    sub_c0_[4 * i + 1] = spectrum_zip16_hi(a23_lo, a01_lo);
+                    sub_c0_[4 * i + 2] = spectrum_zip16_lo(a23_hi, a01_hi);
+                    sub_c0_[4 * i + 3] = spectrum_zip16_hi(a23_hi, a01_hi);
+                    const auto b01_lo = spectrum_zip8_lo(b[1], b[0]);
+                    const auto b01_hi = spectrum_zip8_hi(b[1], b[0]);
+                    const auto b23_lo = spectrum_zip8_lo(b[3], b[2]);
+                    const auto b23_hi = spectrum_zip8_hi(b[3], b[2]);
+                    sub_c1_[4 * i] = spectrum_zip16_lo(b23_lo, b01_lo);
+                    sub_c1_[4 * i + 1] = spectrum_zip16_hi(b23_lo, b01_lo);
+                    sub_c1_[4 * i + 2] = spectrum_zip16_lo(b23_hi, b01_hi);
+                    sub_c1_[4 * i + 3] = spectrum_zip16_hi(b23_hi, b01_hi);
+                }
+            }
+        } else {
+            base.fill(0xff);
+        }
+
         for (uint32_t m = 1; m < size_; ++m) {
             if ((span_ >> m) & 1)
                 continue; // not linearly independent of chosen columns
             // Two candidate evaluations (c = 0, 1) share the block below;
-            // the limit is checked per evaluation so even aborted searches
-            // report the same iteration count as the baseline.
-            if (++iterations_ > limit_ || ++iterations_ > limit_) {
+            // the pair-fused limit check aborts at the same point with the
+            // same final count as the baseline's per-evaluation check
+            // (which stops after the first of the two increments when that
+            // one already crossed the limit).
+            if (iterations_ + 2 > limit_) {
+                iterations_ += iterations_ >= limit_ ? 1 : 2;
                 aborted_ = true;
                 return;
+            }
+            iterations_ += 2;
+            if (subword) {
+                uint64_t k0, k1;
+                if (half == 1) {
+                    const uint32_t sh = 8 * (m & 7);
+                    k0 = ((sub_c0_[m >> 3] >> sh) & 0xff) << 56 |
+                         0x0080808080808080ull;
+                    k1 = ((sub_c1_[m >> 3] >> sh) & 0xff) << 56 |
+                         0x0080808080808080ull;
+                } else if (half == 2) {
+                    const uint32_t sh = 16 * (m & 3);
+                    k0 = ((sub_c0_[m >> 2] >> sh) & 0xffff) << 48 |
+                         0x0000808080808080ull;
+                    k1 = ((sub_c1_[m >> 2] >> sh) & 0xffff) << 48 |
+                         0x0000808080808080ull;
+                } else {
+                    const uint32_t sh = 32 * (m & 1);
+                    k0 = ((sub_c0_[m >> 1] >> sh) & 0xffffffff) << 32 |
+                         0x0000000080808080ull;
+                    k1 = ((sub_c1_[m >> 1] >> sh) & 0xffffffff) << 32 |
+                         0x0000000080808080ull;
+                }
+                if (!entry_best ||
+                    (drop_ties ? k0 > entry_key[0] : k0 >= entry_key[0]))
+                    items[count++] = pack_item(k0, m, false);
+                if (!entry_best ||
+                    (drop_ties ? k1 > entry_key[0] : k1 >= entry_key[0]))
+                    items[count++] = pack_item(k1, m, true);
+                continue;
             }
             std::array<uint64_t, 4> blk{};
             if (base[m] == 0xff) {
@@ -482,6 +625,19 @@ private:
                 blk = gathered[base[m]];
                 spectrum_translate(blk.data(), half, xlat[m]);
             }
+            if (words == 1) {
+                const uint64_t k0 = spectrum_sort_key(
+                    spectrum_negate_if(blk[0], neg[0]));
+                const uint64_t k1 = spectrum_sort_key(
+                    spectrum_negate_if(blk[0], ~neg[0] & tail_mask));
+                if (!entry_best ||
+                    (drop_ties ? k0 > entry_key[0] : k0 >= entry_key[0]))
+                    items[count++] = pack_item(k0, m, false);
+                if (!entry_best ||
+                    (drop_ties ? k1 > entry_key[0] : k1 >= entry_key[0]))
+                    items[count++] = pack_item(k1, m, true);
+                continue;
+            }
             candidate c0, c1;
             for (uint32_t i = 0; i < words; ++i) {
                 const uint64_t valid =
@@ -495,27 +651,50 @@ private:
             c0.c_bit = false;
             c1.m = static_cast<uint8_t>(m);
             c1.c_bit = true;
-            if (!entry_best || compare_keys(c0.key, entry_key, words) >= 0)
+            const int f0 =
+                entry_best ? compare_keys(c0.key, entry_key, words) : 1;
+            const int f1 =
+                entry_best ? compare_keys(c1.key, entry_key, words) : 1;
+            if (drop_ties ? f0 > 0 : f0 >= 0)
                 cands[count++] = c0;
-            if (!entry_best || compare_keys(c1.key, entry_key, words) >= 0)
+            if (drop_ties ? f1 > 0 : f1 >= 0)
                 cands[count++] = c1;
         }
 
-        // Index sort, descending by key with the insertion index breaking
-        // ties — exactly the baseline's stable_sort order on the retained
-        // candidates.
-        auto& order = order_pool_[level];
-        for (uint32_t i = 0; i < count; ++i)
-            order[i] = static_cast<uint8_t>(i);
-        std::sort(order.begin(), order.begin() + count,
-                  [&cands, words](uint8_t x, uint8_t y) {
-                      const int cmp =
-                          compare_keys(cands[x].key, cands[y].key, words);
-                      return cmp != 0 ? cmp > 0 : x < y;
-                  });
+        // Sort descending with the insertion index breaking ties — exactly
+        // the baseline's stable_sort order on the retained candidates.
+        // Single-word keys (every level of a 4-input search, and all but
+        // the deepest levels at 5-6 inputs) ride in one flat packed array:
+        // (key, complemented insertion index) sorts as a plain integer,
+        // with no comparator indirection and no candidate structs at all.
+        if (words == 1) {
+            std::sort(items.begin(), items.begin() + count,
+                      std::greater<>{});
+        } else {
+            auto& order = order_pool_[level];
+            for (uint32_t i = 0; i < count; ++i)
+                order[i] = static_cast<uint8_t>(i);
+            std::sort(order.begin(), order.begin() + count,
+                      [&cands, words](uint8_t x, uint8_t y) {
+                          const int cmp = compare_keys(cands[x].key,
+                                                       cands[y].key, words);
+                          return cmp != 0 ? cmp > 0 : x < y;
+                      });
+        }
 
         for (uint32_t rank = 0; rank < count; ++rank) {
-            const candidate& cand = cands[order[rank]];
+            candidate unpacked;
+            if (words == 1) {
+                const auto item = items[rank];
+                const auto low =
+                    255u - static_cast<uint32_t>(item & 0xff);
+                unpacked.key = {static_cast<uint64_t>(item >> 8), 0, 0, 0};
+                unpacked.m = static_cast<uint8_t>(low >> 1);
+                unpacked.c_bit = (low & 1) != 0;
+            } else {
+                unpacked = cand_pool_[level][order_pool_[level][rank]];
+            }
+            const candidate& cand = unpacked;
             if (aborted_)
                 return;
             if (best_complete_) {
@@ -525,7 +704,15 @@ private:
                     break; // sorted: everything after is worse
                 if (cmp > 0)
                     best_complete_ = false; // new leader from here down
-                // equal: tight challenger, recurse and compare deeper
+                // equal: tight challenger, recurse and compare deeper —
+                // except at the last level, where there is nothing deeper:
+                // the recursion would return immediately and the apply/
+                // restore around it cancels out.  Skipping it is free
+                // (terminal dfs calls never touch the iteration count) and
+                // is where 4-input searches spent most of their time:
+                // almost every last-level candidate ties the incumbent.
+                else if (level == n_)
+                    continue;
             }
             if (!best_complete_) {
                 best_key_[level] = cand.key;
@@ -604,8 +791,16 @@ private:
     std::array<uint32_t, 65> unused_mag_{}; ///< prune: count per |coeff|
     std::array<std::array<uint64_t, 4>, 7> neg_{}; ///< packed row-sign masks
 
+    // Sub-word candidate batches (half <= 4): key bytes / 16-bit / 32-bit
+    // key units of all candidates — eight, four, or two per word.
+    // Consumed into cand_pool_ before the recursion, so one pair of
+    // buffers serves every level.
+    std::array<uint64_t, 32> sub_c0_{};
+    std::array<uint64_t, 32> sub_c1_{};
+
     // Per-level scratch (depth <= 6) — no allocation inside the search.
     std::array<std::array<candidate, 128>, 7> cand_pool_{};
+    std::array<std::array<unsigned __int128, 128>, 7> item_pool_{};
     std::array<std::array<uint8_t, 128>, 7> order_pool_{};
     std::array<std::array<uint8_t, 64>, 7> coset_base_{};
     std::array<std::array<uint8_t, 64>, 7> coset_xlat_{};

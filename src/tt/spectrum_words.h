@@ -156,6 +156,65 @@ inline void spectrum_from_truth_word(uint64_t tt_word, uint32_t size,
     spectrum_butterfly(words, size);
 }
 
+// ----------------------------------------- sub-word candidate-block layout
+//
+// At DFS levels whose blocks have only one or two rows, a whole 64-bit
+// word of per-candidate machinery is wasted on 8 or 16 meaningful bits.
+// These helpers build the *candidate* axis word-parallel instead: the
+// packed source lanes already hold one lane per candidate (g[m], and for
+// two-row blocks the XOR-translate g[m ^ m1] aligned under it), so one
+// SWAR negate + bias produces the key bytes of eight candidates at once,
+// and a byte interleave assembles four candidates' 16-bit block keys per
+// word.  The classifier (src/spectral/classification.cpp) uses this to
+// close the small-function gap where per-candidate gathers dominated —
+// the "4 candidates per word" layout of the 4-input benchmark gate.
+
+/// Spread the low four bytes to the even byte positions: dcba -> d0c0b0a0
+/// read little-endian (byte j of the input lands in byte 2j).
+constexpr uint64_t spectrum_spread_bytes(uint64_t v)
+{
+    v &= 0xffffffffull;
+    v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+    return v;
+}
+
+/// Interleave the low four bytes of two words into 16-bit units:
+/// unit j = (hi.byte j << 8) | lo.byte j.
+constexpr uint64_t spectrum_zip8_lo(uint64_t lo, uint64_t hi)
+{
+    return spectrum_spread_bytes(lo) | (spectrum_spread_bytes(hi) << 8);
+}
+
+/// Same for the high four bytes.
+constexpr uint64_t spectrum_zip8_hi(uint64_t lo, uint64_t hi)
+{
+    return spectrum_spread_bytes(lo >> 32) |
+           (spectrum_spread_bytes(hi >> 32) << 8);
+}
+
+/// Spread the low two 16-bit units to the even unit positions.
+constexpr uint64_t spectrum_spread_u16(uint64_t v)
+{
+    v &= 0xffffffffull;
+    return (v | (v << 16)) & 0x0000ffff0000ffffull;
+}
+
+/// Interleave the low two 16-bit units of two words into 32-bit units:
+/// unit j = (hi.u16 j << 16) | lo.u16 j.  With zip8 outputs as inputs this
+/// assembles four-row candidate blocks, two candidates per word.
+constexpr uint64_t spectrum_zip16_lo(uint64_t lo, uint64_t hi)
+{
+    return spectrum_spread_u16(lo) | (spectrum_spread_u16(hi) << 16);
+}
+
+/// Same for the high two 16-bit units.
+constexpr uint64_t spectrum_zip16_hi(uint64_t lo, uint64_t hi)
+{
+    return spectrum_spread_u16(lo >> 32) |
+           (spectrum_spread_u16(hi >> 32) << 16);
+}
+
 /// Read lane w as a signed value.
 constexpr int32_t spectrum_lane(const uint64_t* words, uint32_t w)
 {

@@ -2,6 +2,7 @@
 #include "core/xor_resynthesis.h"
 #include "gen/arithmetic.h"
 #include "gen/hashes.h"
+#include "gen/lightweight.h"
 #include "xag/cleanup.h"
 #include "xag/simulate.h"
 #include "xag/verify.h"
@@ -112,6 +113,98 @@ TEST(xor_resynthesis_pass, noop_on_and_only_network)
     const auto stats = xor_resynthesis(net);
     EXPECT_EQ(stats.blocks, 0u);
     EXPECT_EQ(stats.xors_before, stats.xors_after);
+}
+
+// ------------------------------------------------------ wide-row pairing
+
+/// Rows of `width` terms sharing a long prefix, deliberately associated
+/// differently so the naive trees share nothing.  Terms are AND gates so
+/// the PI count stays at 8 (exhaustive verification) while rows grow past
+/// the old 16-term pairing cap.
+xag wide_row_network(uint32_t width, uint32_t num_rows)
+{
+    xag net;
+    std::vector<signal> pis;
+    for (int i = 0; i < 8; ++i)
+        pis.push_back(net.create_pi());
+    std::vector<signal> terms;
+    for (uint32_t i = 0; terms.size() < width + num_rows; ++i)
+        for (uint32_t j = i + 1; j < 8 && terms.size() < width + num_rows;
+             ++j) {
+            const auto t = net.create_and(pis[i] ^ (i & 1), pis[j]);
+            if ((i + j) % 3 != 0)
+                terms.push_back(t);
+            else
+                terms.push_back(net.create_and(t, pis[(i + j) % 8] ^ true));
+        }
+    std::mt19937_64 rng{7};
+    for (uint32_t r = 0; r < num_rows; ++r) {
+        // Shared prefix terms 0..width-1 plus one private term, built in a
+        // per-row shuffled order so every row's tree is distinct.
+        std::vector<signal> row(terms.begin(), terms.begin() + width);
+        row.push_back(terms[width + r]);
+        std::shuffle(row.begin(), row.end(), rng);
+        auto acc = row[0];
+        for (size_t i = 1; i < row.size(); ++i)
+            acc = net.create_xor(acc, row[i]);
+        net.create_po(net.create_and(acc, pis[r % 8]));
+    }
+    return net;
+}
+
+TEST(xor_resynthesis_pass, pairs_rows_beyond_the_old_16_term_cap)
+{
+    // 24-term rows: before PR 4 these skipped pairing entirely and kept
+    // their unshared trees (0 pairs, no XOR reduction).
+    auto net = wide_row_network(24, 4);
+    const auto golden = cleanup(net);
+    const auto before = net.num_xors();
+
+    const auto stats = xor_resynthesis(net);
+    net.check_integrity();
+    EXPECT_GT(stats.widest_row, 16u);
+    EXPECT_GT(stats.widest_row_paired, 16u);
+    EXPECT_EQ(stats.rows_paired, stats.blocks);
+    EXPECT_GT(stats.pairs_extracted, 0u);
+    EXPECT_LT(net.num_xors(), before);
+    EXPECT_TRUE(exhaustive_equal(cleanup(net), golden));
+}
+
+TEST(xor_resynthesis_pass, width_cap_and_budget_still_skip_rows)
+{
+    // The same network under the legacy cap pairs nothing (every row is
+    // wider than 16) but must stay correct and non-increasing.
+    auto net = wide_row_network(24, 4);
+    const auto golden = cleanup(net);
+    const auto before = net.num_xors();
+    const auto stats = xor_resynthesis(net, {.max_pairing_width = 16});
+    net.check_integrity();
+    EXPECT_EQ(stats.rows_paired, 0u);
+    EXPECT_EQ(stats.pairs_extracted, 0u);
+    EXPECT_LE(net.num_xors(), before);
+    EXPECT_TRUE(exhaustive_equal(cleanup(net), golden));
+
+    // A starved work budget admits only the narrowest rows.
+    auto net2 = wide_row_network(24, 4);
+    const auto stats2 = xor_resynthesis(net2, {.pairing_work_budget = 1});
+    EXPECT_EQ(stats2.rows_paired, 0u);
+}
+
+TEST(xor_resynthesis_pass, keccak_generator_produces_wide_rows)
+{
+    // A real generator whose linear blocks dwarf the old cap: keccak's
+    // theta/chi structure yields rows of hundreds of terms.  Wide-row
+    // pairing must hold the XOR count (never grow it) and preserve the
+    // function.
+    auto net = gen_keccak_f(8);
+    const auto golden = cleanup(net);
+    const auto stats = xor_resynthesis(net);
+    net.check_integrity();
+    EXPECT_GT(stats.widest_row, 16u);
+    EXPECT_GT(stats.widest_row_paired, 16u);
+    EXPECT_GT(stats.rows_paired, 0u);
+    EXPECT_LE(stats.xors_after, stats.xors_before);
+    EXPECT_TRUE(random_simulation_equal(cleanup(net), golden, 16));
 }
 
 } // namespace

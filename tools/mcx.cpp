@@ -182,8 +182,9 @@ void write_report(const std::string& path, const std::string& input,
     std::fprintf(f, "  \"passes\": [\n");
     for (size_t i = 0; i < result.passes.size(); ++i) {
         const auto& p = result.passes[i];
-        std::fprintf(f, "    {\"name\": \"%s\", \"seconds\": %.4f, ",
-                     p.pass_name.c_str(), p.seconds);
+        std::fprintf(f, "    {\"name\": \"%s\", \"seconds\": %.4f, "
+                     "\"threads\": %u, ",
+                     p.pass_name.c_str(), p.seconds, p.num_threads);
         json_xag_stats(f, "before", p.before);
         std::fprintf(f, ", ");
         json_xag_stats(f, "after", p.after);
@@ -246,6 +247,10 @@ void usage(FILE* out)
         "  --cut-limit <l>         cuts kept per node (default 12)\n"
         "  --zero-gain             accept zero-gain replacements\n"
         "  --iterate               repeat the flow until AND convergence\n"
+        "  -j, --threads <n>       rewrite passes on n workers (two-phase\n"
+        "                          engine; output is bit-identical for any\n"
+        "                          n >= 1 — see docs/parallel.md).  Default:\n"
+        "                          the classic sequential loop\n"
         "  --no-batch              disable batched cone simulation (A/B)\n"
         "  --classify-baseline     use the scalar affine classifier (A/B)\n"
         "\n"
@@ -328,6 +333,15 @@ int main(int argc, char** argv)
             opt.params.size_rewrite.allow_zero_gain = true;
         } else if (arg == "--iterate")
             opt.iterate = true;
+        else if (arg == "-j" || arg == "--threads") {
+            const auto n = static_cast<uint32_t>(next_number());
+            if (n == 0) {
+                std::fprintf(stderr,
+                             "error: --threads needs a value >= 1\n");
+                return 1;
+            }
+            opt.params.num_threads = n;
+        }
         else if (arg == "--no-batch") {
             opt.params.rewrite.batched_simulation = false;
             opt.params.size_rewrite.batched_simulation = false;
