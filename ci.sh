@@ -30,6 +30,16 @@ cmake --build build -j"$(nproc)"
 ./build/tools/mcx --flow mc+xor build/adder16.bench \
     -o build/adder16_bench_opt.bench --report FLOW_smoke_bench.json
 
+# Incremental-cuts smoke: maintaining cut sets across rounds (the default)
+# must produce output bit-identical to full re-enumeration every round
+# (src/cut/cut_incremental.h contract).
+./build/tools/mcx --flow mc+xor --incremental-cuts off gen:adder:16 \
+    -o build/adder16_noinc.bench
+cmp build/adder16_opt.bench build/adder16_noinc.bench || {
+    echo "ci.sh: --incremental-cuts off output differs from the default" >&2
+    exit 1
+}
+
 # Parallel flow smoke: the two-phase engine at 4 workers must verify and
 # produce output bit-identical to its 1-worker reference run
 # (docs/parallel.md determinism contract).
@@ -52,6 +62,7 @@ grep -q '"threads": 4' FLOW_smoke_par.json || {
 help_text=$(./build/tools/mcx --help)
 for flag in --flow --iterate --rounds --cut-size --cut-limit --zero-gain \
             --verify --report --seed --no-batch --classify-baseline \
+            --incremental-cuts \
             --threads --bristol --output --list-gens --list-flows; do
     grep -qe "$flag" <<<"$help_text" || {
         echo "ci.sh: mcx --help does not mention $flag" >&2
@@ -93,17 +104,21 @@ done
 [ "$docs_failed" -eq 0 ] || exit 1
 
 # ThreadSanitizer job: the parallel subsystem (thread pool, sharded
-# databases, two-phase round) and the pass framework under TSan.  The
-# par_test determinism sweep is trimmed to one representative family —
-# full generator sweeps under TSan's ~10x slowdown belong in a nightly,
-# not the per-commit gate.
+# databases, two-phase round, level-parallel cut maintenance) and the pass
+# framework under TSan.  The par_test and cut_incremental_test determinism
+# sweeps are trimmed to one representative family each — full generator
+# sweeps under TSan's ~10x slowdown belong in a nightly, not the
+# per-commit gate.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j"$(nproc)" --target par_test pass_test
+cmake --build build-tsan -j"$(nproc)" --target par_test pass_test \
+    cut_incremental_test
 (cd build-tsan &&
     GTEST_FILTER='work_deque.*:thread_pool.*:sharded_database.*:two_phase_determinism.aes_family' \
         ctest -R par_test --output-on-failure &&
+    GTEST_FILTER='cut_arena_incremental.*:cut_maintainer.*:incremental_differential.aes_family' \
+        ctest -R cut_incremental_test --output-on-failure &&
     ctest -R pass_test --output-on-failure)
 
 echo "ci.sh: all gates passed (JSON artifacts: BENCH_micro_core.json," \

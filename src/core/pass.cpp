@@ -595,13 +595,17 @@ void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
 }
 
 /// Round boilerplate shared by both rewrite flavors: network shape and
-/// cache-traffic deltas, stage timing, cut enumeration into the context's
-/// arena, then the shared loop above.  `make_strategy(stats)` builds the
-/// flavor's strategy bound to this round's stats object.
+/// cache-traffic deltas, stage timing, cut refresh into the context's
+/// arena (incremental across rounds by default — only the previous
+/// round's dirty region is re-enumerated, level-parallel on the worker
+/// pool when the two-phase engine is active), then the shared loop above.
+/// `make_strategy(stats)` builds the flavor's strategy bound to this
+/// round's stats object.
 template <typename StrategyFactory>
 round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
                           uint32_t cut_limit, bool allow_zero_gain,
                           bool batched, uint32_t num_threads,
+                          bool incremental_cuts,
                           StrategyFactory&& make_strategy)
 {
     const auto start = std::chrono::steady_clock::now();
@@ -612,9 +616,12 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
     const auto [cache_hits0, cache_misses0] = strat.cache_traffic();
     const auto [db_hits0, db_misses0] = strat.db_traffic();
 
-    enumerate_cuts(network, ctx.cuts(),
-                   {.cut_size = cut_size, .cut_limit = cut_limit},
-                   &stats.cut_stats);
+    ctx.cut_maintenance().refresh(
+        network, ctx.cuts(),
+        {.cut_size = cut_size, .cut_limit = cut_limit,
+         .incremental = incremental_cuts},
+        &stats.cut_stats,
+        num_threads >= 1 ? &ctx.pool(num_threads) : nullptr);
     const auto cuts_done = std::chrono::steady_clock::now();
     stats.cut_seconds =
         std::chrono::duration<double>(cuts_done - start).count();
@@ -811,7 +818,8 @@ round_stats mc_rewrite_round(xag& network, pass_context& ctx,
 {
     return generic_round(network, ctx, params.cut_size, params.cut_limit,
                          params.allow_zero_gain, params.batched_simulation,
-                         params.num_threads, [&](round_stats& stats) {
+                         params.num_threads, params.incremental_cuts,
+                         [&](round_stats& stats) {
                              return mc_strategy{network, ctx.mc_db(),
                                                 ctx.classification(), stats};
                          });
@@ -822,7 +830,8 @@ round_stats size_rewrite_round(xag& network, pass_context& ctx,
 {
     return generic_round(network, ctx, params.cut_size, params.cut_limit,
                          params.allow_zero_gain, params.batched_simulation,
-                         params.num_threads, [&](round_stats& stats) {
+                         params.num_threads, params.incremental_cuts,
+                         [&](round_stats& stats) {
                              return size_strategy{network, ctx.size_db(),
                                                   ctx.npn(), stats};
                          });

@@ -27,6 +27,7 @@
 #pragma once
 
 #include "cut/cut_enumeration.h"
+#include "cut/cut_incremental.h"
 #include "db/mc_database.h"
 #include "db/size_database.h"
 #include "npn/npn.h"
@@ -64,6 +65,13 @@ struct rewrite_params {
     /// bit-identical for every value >= 1 (docs/parallel.md), so
     /// `num_threads = 1` is the reference run of the parallel engine.
     uint32_t num_threads = 0;
+    /// Maintain cut sets incrementally across rounds (default): after the
+    /// first round only the dirty region — replaced MFFCs' transitive
+    /// fanout plus new gates — is re-enumerated, level-parallel on the
+    /// worker pool when num_threads >= 1.  `false` is the full-rebuild
+    /// oracle; both modes produce byte-identical networks
+    /// (src/cut/cut_incremental.h).
+    bool incremental_cuts = true;
     mc_database_params db;
 };
 
@@ -73,6 +81,7 @@ struct size_rewrite_params {
     bool allow_zero_gain = false;
     bool batched_simulation = true; ///< see rewrite_params
     uint32_t num_threads = 0;       ///< see rewrite_params
+    bool incremental_cuts = true;   ///< see rewrite_params
     size_database_params db;
 };
 
@@ -174,6 +183,11 @@ public:
     classification_cache& classification();
     npn_cache& npn();
     cut_sets& cuts() { return cuts_; }
+    /// Incremental maintenance of cuts() across rounds — tracks one
+    /// network at a time and falls back to a full rebuild whenever its
+    /// change journal cannot vouch for the arena (different network, pass
+    /// ran untracked, params changed).
+    cut_maintainer& cut_maintenance() { return cut_maint_; }
     cone_simulator& simulator() { return simulator_; }
 
     /// Worker team for the two-phase engine: exactly `num_threads`
@@ -209,6 +223,7 @@ private:
     classification_cache* external_cls_ = nullptr;
     npn_cache* external_npn_ = nullptr;
     cut_sets cuts_;
+    cut_maintainer cut_maint_;
     cone_simulator simulator_;
     std::unique_ptr<thread_pool> pool_;
     std::vector<std::unique_ptr<pass_scratch>> scratch_;

@@ -5,6 +5,15 @@
 // of cuts plus a (offset, count) span per node — no per-node vector, no
 // per-node allocation, and `clear()` keeps the pool's capacity so a
 // pass_context can reuse one arena across every round of every pass.
+//
+// Incremental maintenance (src/cut/cut_incremental.h) re-enumerates only
+// the dirty region of the network between rounds, so the arena additionally
+// supports in-place span replacement: `begin_update` opens a new
+// *generation*, `update(n, cuts)` appends the node's fresh cuts to the pool
+// and re-points its span (the old cuts become garbage), and every span
+// carries the generation it was last written — the tag that lets tests and
+// assertions prove clean nodes kept their spans untouched.  `compact()`
+// rewrites the pool without the garbage once it dominates.
 #pragma once
 
 #include "cut/cut.h"
@@ -32,35 +41,97 @@ public:
         return (*this)[static_cast<uint32_t>(spans_.size() - 1)];
     }
 
-    /// Total cuts stored across all nodes.
-    size_t total_cuts() const { return pool_.size(); }
+    /// Total cuts stored across all nodes — live spans only, excluding
+    /// pool garbage left behind by update().
+    size_t total_cuts() const { return live_cuts_; }
+    /// Pool slots occupied (live + garbage).
+    size_t pool_size() const { return pool_.size(); }
     /// Pool slots allocated (capacity survives clear()).
     size_t capacity() const { return pool_.capacity(); }
 
     // ------------------------------------------------- building (enumerator)
     /// Drop all spans and cuts, keep the pool's memory; resize to `num_nodes`
-    /// node slots.
+    /// node slots.  Opens a new generation like begin_update().
     void reset(size_t num_nodes)
     {
         pool_.clear();
         spans_.assign(num_nodes, {});
+        live_cuts_ = 0;
+        ++generation_;
     }
 
-    /// Append `cuts` as the cut set of node `n` (each node assigned once).
-    void assign(uint32_t n, std::span<const cut> cuts)
+    /// Append `cuts` as the cut set of node `n` (each node assigned once
+    /// per generation; update() is the re-assignment path).
+    void assign(uint32_t n, std::span<const cut> cuts) { update(n, cuts); }
+
+    // --------------------------------------- incremental maintenance (sweep)
+    /// Open a new generation and grow to `num_nodes` node slots (spans of
+    /// existing nodes are preserved; new slots start empty).
+    void begin_update(size_t num_nodes)
     {
-        spans_[n] = {static_cast<uint32_t>(pool_.size()),
-                     static_cast<uint32_t>(cuts.size())};
+        spans_.resize(num_nodes);
+        ++generation_;
+    }
+
+    /// Replace node n's cut set: the fresh cuts are appended to the pool,
+    /// the old span's storage becomes garbage (reclaimed by compact()).
+    void update(uint32_t n, std::span<const cut> cuts)
+    {
+        auto& s = spans_[n];
+        live_cuts_ += cuts.size();
+        live_cuts_ -= s.count;
+        s = {static_cast<uint32_t>(pool_.size()),
+             static_cast<uint32_t>(cuts.size()), generation_};
         pool_.insert(pool_.end(), cuts.begin(), cuts.end());
+    }
+
+    /// Drop node n's cut set (dead/unreachable nodes present empty spans,
+    /// exactly as a full rebuild would).
+    void clear_node(uint32_t n)
+    {
+        auto& s = spans_[n];
+        if (s.count == 0)
+            return;
+        live_cuts_ -= s.count;
+        s = {0, 0, generation_};
+    }
+
+    /// Current generation: bumped by every reset()/begin_update().
+    uint64_t generation() const { return generation_; }
+    /// Generation at which node n's span was last written — the proof that
+    /// an incremental sweep left clean nodes alone.
+    uint64_t node_generation(uint32_t n) const { return spans_[n].generation; }
+
+    /// Fraction of the pool that is garbage would exceed 1/2 — the
+    /// maintainer's compaction trigger.
+    bool should_compact() const { return pool_.size() > 2 * live_cuts_; }
+
+    /// Rebuild the pool with live spans only (node order).  Offsets change;
+    /// spans, counts, and generation tags are preserved.  Invalidates any
+    /// outstanding operator[] spans.
+    void compact()
+    {
+        std::vector<cut> fresh;
+        fresh.reserve(live_cuts_);
+        for (auto& s : spans_) {
+            const auto offset = static_cast<uint32_t>(fresh.size());
+            fresh.insert(fresh.end(), pool_.begin() + s.offset,
+                         pool_.begin() + s.offset + s.count);
+            s.offset = offset;
+        }
+        pool_ = std::move(fresh);
     }
 
 private:
     struct span_ref {
         uint32_t offset = 0;
         uint32_t count = 0;
+        uint64_t generation = 0;
     };
     std::vector<cut> pool_;
     std::vector<span_ref> spans_;
+    size_t live_cuts_ = 0;
+    uint64_t generation_ = 0;
 };
 
 } // namespace mcx

@@ -122,8 +122,18 @@ bool scalar_dominates(const cut& a, const cut& b)
     return true;
 }
 
-/// Hash of (leaf set, function) for O(1) exact-duplicate rejection in the
-/// merge loop (splitmix64-style mixing).
+} // namespace
+
+cut trivial_cut(uint32_t n)
+{
+    cut c;
+    c.num_leaves = 1;
+    c.leaves[0] = n;
+    c.function = 0x2; // identity of one variable
+    c.signature = leaf_signature(c.leaf_span());
+    return c;
+}
+
 uint64_t cut_key(const cut& c)
 {
     uint64_t h = 0x9e3779b97f4a7c15ull ^ c.num_leaves;
@@ -140,24 +150,16 @@ uint64_t cut_key(const cut& c)
     return h;
 }
 
-bool same_leaves(const cut& a, const cut& b)
+bool cut_exact_duplicate(const cut& a, const cut& b)
 {
-    return a.num_leaves == b.num_leaves &&
+    // The function compare is load-bearing: cut_key hashes (leaves,
+    // function) into 64 bits, so two same-leaf cuts with different
+    // functions CAN collide — deciding "duplicate" on key + leaves alone
+    // silently dropped the second cut (the pre-fix behavior).
+    return a.num_leaves == b.num_leaves && a.function == b.function &&
            std::equal(a.leaves.begin(), a.leaves.begin() + a.num_leaves,
                       b.leaves.begin());
 }
-
-cut trivial_cut(uint32_t n)
-{
-    cut c;
-    c.num_leaves = 1;
-    c.leaves[0] = n;
-    c.function = 0x2; // identity of one variable
-    c.signature = leaf_signature(c.leaf_span());
-    return c;
-}
-
-} // namespace
 
 bool cut::dominates(const cut& other) const
 {
@@ -183,6 +185,149 @@ bool cut::dominates(const cut& other) const
     return true;
 }
 
+void enumerate_node_cuts(const xag& network, const cut_sets& sets, uint32_t n,
+                         const cut_enumeration_params& params,
+                         cut_enumeration_workspace& ws)
+{
+    auto& candidates = ws.candidates;
+    auto& keys = ws.keys;
+    auto& stats = ws.stats;
+
+    const auto f0 = network.fanin0(n);
+    const auto f1 = network.fanin1(n);
+    const auto set0 = sets[f0.node()];
+    const auto set1 = sets[f1.node()];
+
+    candidates.clear();
+    keys.clear();
+    for (const auto& ca : set0) {
+        for (const auto& cb : set1) {
+            ++stats.merged_pairs;
+            cut merged;
+            std::array<uint8_t, max_cut_size> pos_a{};
+            std::array<uint8_t, max_cut_size> pos_b{};
+            if (!merge_leaves(ca, cb, params.cut_size, merged, pos_a, pos_b))
+                continue;
+            merged.signature = ca.signature | cb.signature;
+
+            uint64_t fa, fb;
+            if (params.word_parallel) {
+                fa = expand_word(ca.function, ca.num_leaves, pos_a,
+                                 merged.num_leaves);
+                fb = expand_word(cb.function, cb.num_leaves, pos_b,
+                                 merged.num_leaves);
+            } else {
+                fa = expand_function_scalar(ca.function, ca, merged);
+                fb = expand_function_scalar(cb.function, cb, merged);
+            }
+            const uint64_t mask = tt_mask(merged.num_leaves);
+            if (f0.complemented())
+                fa = ~fa & mask;
+            if (f1.complemented())
+                fb = ~fb & mask;
+            merged.function = network.is_and(n) ? (fa & fb) : (fa ^ fb);
+
+            if (params.word_parallel) {
+                // Duplicate rejection: one 64-bit compare per existing
+                // candidate (the exact walk only runs on a key match) —
+                // repeated leaf sets are the common case, and a
+                // duplicate's domination scan is pure waste.
+                const uint64_t key = cut_key(merged);
+                bool duplicate = false;
+                for (size_t i = 0; i < keys.size(); ++i) {
+                    if (keys[i] == key &&
+                        cut_exact_duplicate(candidates[i], merged)) {
+                        duplicate = true;
+                        break;
+                    }
+                }
+                if (duplicate) {
+                    ++stats.duplicate_cuts;
+                    continue;
+                }
+
+                // Signature-prefiltered domination (cut::dominates).
+                bool drop = false;
+                for (const auto& existing : candidates) {
+                    if (existing.dominates(merged)) {
+                        drop = true;
+                        break;
+                    }
+                }
+                if (drop) {
+                    ++stats.dominated_cuts;
+                    continue;
+                }
+                size_t kept = 0;
+                for (size_t i = 0; i < candidates.size(); ++i) {
+                    if (merged.dominates(candidates[i])) {
+                        ++stats.evicted_cuts;
+                        continue;
+                    }
+                    candidates[kept] = candidates[i];
+                    keys[kept] = keys[i];
+                    ++kept;
+                }
+                candidates.resize(kept);
+                keys.resize(kept);
+                candidates.push_back(merged);
+                keys.push_back(key);
+            } else {
+                // Seed-faithful quadratic scan with std::find subsets —
+                // except that exact duplicates are now classified first,
+                // mirroring the word-parallel path, so the two paths'
+                // duplicate/dominated/evicted counters compare 1:1.  (A
+                // duplicate was previously dropped by the domination scan
+                // below — same cut sets, skewed counters.)
+                bool duplicate = false;
+                for (const auto& existing : candidates) {
+                    if (cut_exact_duplicate(existing, merged)) {
+                        duplicate = true;
+                        break;
+                    }
+                }
+                if (duplicate) {
+                    ++stats.duplicate_cuts;
+                    continue;
+                }
+                bool drop = false;
+                for (auto& existing : candidates) {
+                    if (scalar_dominates(existing, merged)) {
+                        drop = true;
+                        break;
+                    }
+                }
+                if (drop) {
+                    ++stats.dominated_cuts;
+                    continue;
+                }
+                std::erase_if(candidates, [&](const cut& existing) {
+                    if (!scalar_dominates(merged, existing))
+                        return false;
+                    ++stats.evicted_cuts;
+                    return true;
+                });
+                candidates.push_back(merged);
+            }
+        }
+    }
+
+    // Smaller cuts first (the classic priority-cut ordering): small
+    // cuts merge into feasible wider cuts at the fanouts, and their
+    // rewrites are cheap to evaluate.  Sorting widest-first was
+    // measured to explode runtime (every node drags its full 6-input
+    // cone through classification) for marginal quality gains.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const cut& a, const cut& b) {
+                         return a.num_leaves < b.num_leaves;
+                     });
+    if (candidates.size() > params.cut_limit)
+        candidates.resize(params.cut_limit);
+    candidates.push_back(trivial_cut(n));
+    stats.total_cuts += candidates.size();
+    ++stats.reenumerated_nodes;
+}
+
 void enumerate_cuts(const xag& network, cut_sets& sets,
                     const cut_enumeration_params& params,
                     cut_enumeration_stats* stats)
@@ -191,12 +336,9 @@ void enumerate_cuts(const xag& network, cut_sets& sets,
         throw std::invalid_argument{"enumerate_cuts: cut_size must be 2..6"};
     if (params.cut_limit < 1)
         throw std::invalid_argument{"enumerate_cuts: cut_limit must be >= 1"};
-    if (stats)
-        *stats = {}; // counters are per call, never carried over
 
     sets.reset(network.size());
-    std::vector<cut> candidates;
-    std::vector<uint64_t> keys; // cut_key per candidate (word-parallel path)
+    cut_enumeration_workspace ws; // counters start zeroed
 
     for (const auto n : network.topological_order()) {
         if (network.is_pi(n)) {
@@ -206,129 +348,11 @@ void enumerate_cuts(const xag& network, cut_sets& sets,
         }
         if (!network.is_gate(n))
             continue;
-
-        const auto f0 = network.fanin0(n);
-        const auto f1 = network.fanin1(n);
-        const auto set0 = sets[f0.node()];
-        const auto set1 = sets[f1.node()];
-
-        candidates.clear();
-        keys.clear();
-        for (const auto& ca : set0) {
-            for (const auto& cb : set1) {
-                if (stats)
-                    ++stats->merged_pairs;
-                cut merged;
-                std::array<uint8_t, max_cut_size> pos_a{};
-                std::array<uint8_t, max_cut_size> pos_b{};
-                if (!merge_leaves(ca, cb, params.cut_size, merged, pos_a,
-                                  pos_b))
-                    continue;
-                merged.signature = ca.signature | cb.signature;
-
-                uint64_t fa, fb;
-                if (params.word_parallel) {
-                    fa = expand_word(ca.function, ca.num_leaves, pos_a,
-                                     merged.num_leaves);
-                    fb = expand_word(cb.function, cb.num_leaves, pos_b,
-                                     merged.num_leaves);
-                } else {
-                    fa = expand_function_scalar(ca.function, ca, merged);
-                    fb = expand_function_scalar(cb.function, cb, merged);
-                }
-                const uint64_t mask = tt_mask(merged.num_leaves);
-                if (f0.complemented())
-                    fa = ~fa & mask;
-                if (f1.complemented())
-                    fb = ~fb & mask;
-                merged.function = network.is_and(n) ? (fa & fb) : (fa ^ fb);
-
-                if (params.word_parallel) {
-                    // Duplicate rejection: one 64-bit compare per existing
-                    // candidate (the leaf walk only runs on a key match) —
-                    // repeated leaf sets are the common case, and a
-                    // duplicate's domination scan is pure waste.
-                    const uint64_t key = cut_key(merged);
-                    bool duplicate = false;
-                    for (size_t i = 0; i < keys.size(); ++i) {
-                        if (keys[i] == key &&
-                            same_leaves(candidates[i], merged)) {
-                            duplicate = true;
-                            break;
-                        }
-                    }
-                    if (duplicate) {
-                        if (stats)
-                            ++stats->duplicate_cuts;
-                        continue;
-                    }
-
-                    // Signature-prefiltered domination (cut::dominates).
-                    bool drop = false;
-                    for (const auto& existing : candidates) {
-                        if (existing.dominates(merged)) {
-                            drop = true;
-                            break;
-                        }
-                    }
-                    if (drop) {
-                        if (stats)
-                            ++stats->dominated_cuts;
-                        continue;
-                    }
-                    size_t kept = 0;
-                    for (size_t i = 0; i < candidates.size(); ++i) {
-                        if (merged.dominates(candidates[i])) {
-                            if (stats)
-                                ++stats->evicted_cuts;
-                            continue;
-                        }
-                        candidates[kept] = candidates[i];
-                        keys[kept] = keys[i];
-                        ++kept;
-                    }
-                    candidates.resize(kept);
-                    keys.resize(kept);
-                    candidates.push_back(merged);
-                    keys.push_back(key);
-                } else {
-                    // Seed-faithful quadratic scan with std::find subsets.
-                    bool drop = false;
-                    for (auto& existing : candidates) {
-                        if (scalar_dominates(existing, merged)) {
-                            drop = true;
-                            break;
-                        }
-                    }
-                    if (drop) {
-                        if (stats)
-                            ++stats->dominated_cuts;
-                        continue;
-                    }
-                    std::erase_if(candidates, [&](const cut& existing) {
-                        return scalar_dominates(merged, existing);
-                    });
-                    candidates.push_back(merged);
-                }
-            }
-        }
-
-        // Smaller cuts first (the classic priority-cut ordering): small
-        // cuts merge into feasible wider cuts at the fanouts, and their
-        // rewrites are cheap to evaluate.  Sorting widest-first was
-        // measured to explode runtime (every node drags its full 6-input
-        // cone through classification) for marginal quality gains.
-        std::stable_sort(candidates.begin(), candidates.end(),
-                         [](const cut& a, const cut& b) {
-                             return a.num_leaves < b.num_leaves;
-                         });
-        if (candidates.size() > params.cut_limit)
-            candidates.resize(params.cut_limit);
-        candidates.push_back(trivial_cut(n));
-        sets.assign(n, candidates);
-        if (stats)
-            stats->total_cuts += candidates.size();
+        enumerate_node_cuts(network, sets, n, params, ws);
+        sets.assign(n, ws.candidates);
     }
+    if (stats)
+        *stats = ws.stats; // counters are per call, never carried over
 }
 
 cut_sets enumerate_cuts(const xag& network,

@@ -1,0 +1,98 @@
+// Incremental cut maintenance across rewriting rounds.
+//
+// A rewriting round used to re-enumerate every node's priority cuts from
+// scratch, even when the previous round replaced a handful of MFFCs.  The
+// per-node enumeration kernel (`enumerate_node_cuts`) is a pure function
+// of the node's fanins and their finished cut sets, so a cut set only
+// changes when the node's own structure changed — a fanin rewired, the
+// node newly created — or when a fanin's cut set changed.  The maintainer
+// exploits exactly that:
+//
+//  * after each refresh it arms the network's structural-change journal
+//    (xag::arm_change_log), which records every node whose local structure
+//    changes — gates created by candidate splicing, parents rewired by
+//    substitute, nodes dying with their MFFCs;
+//  * the next refresh sweeps the network level by level (level = one past
+//    the deepest gate fanin) and recomputes a gate iff its structure
+//    changed (journal), a fanin's cut set was just recomputed *to a
+//    different value*, or its arena span is empty (it was unreachable at
+//    the previous refresh).  A recomputed set that compares equal to the
+//    stored span is not committed, so change propagation terminates as
+//    soon as cut sets stabilize above the replaced region — a handful of
+//    levels, since priority cuts only reach a bounded distance down.
+//    Every untouched node keeps its arena span, proven by the span's
+//    generation tag (cut_sets::node_generation);
+//  * within a level the recomputed gates' fanin sets are all finished, so
+//    the per-worker kernels (own candidate buffers, own stat counters)
+//    run embarrassingly parallel on the PR 4 thread pool
+//    (src/par/level_sweep.h); results are compared and committed to the
+//    arena sequentially between levels.
+//
+// The refresh is byte-for-byte equivalent to a full rebuild — same cut
+// sets per node, for any thread count, for either engine — because the
+// kernel is pure, the recompute predicate is conservative, and equality
+// pruning only skips provably-identical work (see docs/hot-path.md,
+// "Incremental cut maintenance", for the induction).
+// `cut_enumeration_params::incremental = false` keeps the classic full
+// re-enumeration on every refresh: the differential oracle for tests and
+// the A/B baseline for the bench.
+#pragma once
+
+#include "cut/cut_enumeration.h"
+#include "par/thread_pool.h"
+#include "xag/xag.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mcx {
+
+class cut_maintainer {
+public:
+    /// Bring `sets` up to date for `net`: an incremental dirty-region
+    /// sweep when the journal armed by the previous refresh still covers
+    /// everything that happened to this network (and the params match), a
+    /// full rebuild otherwise.  With `params.incremental == false` this
+    /// delegates to the classic sequential enumerate_cuts (the oracle) and
+    /// disarms tracking.  `pool` (optional) parallelizes the sweep
+    /// level-by-level; results are identical with or without it.  Returns
+    /// true when the refresh was incremental.
+    bool refresh(xag& net, cut_sets& sets,
+                 const cut_enumeration_params& params,
+                 cut_enumeration_stats* stats = nullptr,
+                 thread_pool* pool = nullptr);
+
+    /// Forget the tracked network: the next refresh is a full rebuild.
+    void invalidate();
+
+private:
+    bool can_update(const xag& net, const cut_sets& sets,
+                    const cut_enumeration_params& params) const;
+    void sweep(const xag& net, cut_sets& sets,
+               const cut_enumeration_params& params,
+               cut_enumeration_stats* stats, thread_pool* pool, bool full);
+
+    // Identity of the tracked (network, arena) pair — compared, never
+    // dereferenced, so staleness is harmless (the armed-journal check
+    // rejects a recycled address; versions are globally unique).
+    const xag* net_ = nullptr;
+    const cut_sets* sets_ = nullptr;
+    uint64_t armed_version_ = 0;
+    uint64_t arena_generation_ = 0; ///< detects foreign writes to the arena
+    cut_enumeration_params params_{};
+
+    // Sweep state, persistent so steady-state rounds allocate nothing.
+    std::vector<uint8_t> changed_;     ///< journal membership per node
+    std::vector<uint8_t> reached_;     ///< in the current topological order
+    std::vector<uint8_t> set_changed_; ///< cut set differs from previous gen
+    std::vector<uint32_t> level_;      ///< gate level (PI/constant = 0)
+    std::vector<uint32_t> items_;      ///< live gates, grouped by level
+    std::vector<uint32_t> ordered_;    ///< counting-sort double buffer
+    std::vector<uint32_t> level_offsets_; ///< items_ partition per level
+    std::vector<uint32_t> level_cursor_;  ///< counting-sort scratch
+    std::vector<uint32_t> recompute_;     ///< current level's work list
+    std::vector<std::vector<cut>> results_; ///< per-item staging buffers
+    std::vector<cut_enumeration_workspace> workspaces_; ///< per worker
+};
+
+} // namespace mcx

@@ -1,0 +1,56 @@
+// Level-synchronized parallel iteration.
+//
+// Some sweeps are parallel only *within* a dependency level: cut
+// enumeration of a node may start once its fanins' cut sets are finished,
+// so the dirty region of a network is processed level by level — every
+// item of level L runs on the pool concurrently, then a sequential commit
+// publishes the level's results, then level L+1 starts.  The plan and
+// commit steps run on the calling thread between parallel sections, which
+// is what lets workers read shared state (the cut arena) without
+// synchronization: it is frozen for the duration of each parallel section
+// — and what lets the frontier be *dynamic*: the plan for level L+1 may
+// depend on which of level L's results actually changed (change
+// propagation with early termination).
+//
+// Levels with a single item — and the whole sweep when `pool` is null or
+// has one worker — run inline on the caller, so the sequential and
+// parallel executions share one code path (and, because each body must be
+// a pure function of its item, identical results).
+#pragma once
+
+#include "par/thread_pool.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mcx {
+
+/// Run a level-synchronized sweep over `num_levels` dependency levels:
+/// per level, `plan(level)` (sequential) stages the level's work items and
+/// returns their count, `body(item, worker)` runs for every item in
+/// [0, count) — concurrently on `pool` when it has more than one worker —
+/// and `commit(level, count)` (sequential) publishes the results before
+/// the next level is planned.  `body` must not touch state shared with
+/// another item of its level.
+inline void
+level_synchronized_sweep(thread_pool* pool, size_t num_levels,
+                         const std::function<size_t(size_t)>& plan,
+                         const std::function<void(size_t, uint32_t)>& body,
+                         const std::function<void(size_t, size_t)>& commit)
+{
+    for (size_t level = 0; level < num_levels; ++level) {
+        const size_t count = plan(level);
+        if (count == 0)
+            continue;
+        if (pool != nullptr && pool->num_workers() > 1 && count > 1) {
+            pool->parallel_for(0, count, body);
+        } else {
+            for (size_t i = 0; i < count; ++i)
+                body(i, 0);
+        }
+        commit(level, count);
+    }
+}
+
+} // namespace mcx

@@ -1,13 +1,35 @@
 #include "xag/xag.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace mcx {
 
 xag::xag()
 {
+    // Version numbers never collide across networks (each instance claims a
+    // disjoint 2^32 range), so a consumer holding a (pointer, version) pair
+    // cannot be fooled by a different network reusing the same address.
+    static std::atomic<uint64_t> next_version_base{0};
+    structural_version_ = next_version_base.fetch_add(1) << 32;
     nodes_.emplace_back(); // node 0: constant false
     fanouts_.emplace_back();
+}
+
+void xag::arm_change_log()
+{
+    changes_.armed = true;
+    changes_.overflowed = false;
+    changes_.base_version = structural_version_;
+    changes_.nodes.clear();
+}
+
+void xag::disarm_change_log()
+{
+    changes_.armed = false;
+    changes_.overflowed = false;
+    changes_.nodes.clear();
+    changes_.nodes.shrink_to_fit();
 }
 
 signal xag::create_pi()
@@ -19,6 +41,7 @@ signal xag::create_pi()
     nodes_.push_back(n);
     fanouts_.emplace_back();
     pis_.push_back(id);
+    log_change(id);
     return signal{id, false};
 }
 
@@ -33,6 +56,9 @@ uint32_t xag::create_po(signal s)
 {
     incr_ref(s.node());
     pos_.push_back(s);
+    // A new PO can make an externally-held cone reachable, so conservatively
+    // dirty its root for incremental consumers.
+    log_change(s.node());
     return static_cast<uint32_t>(pos_.size() - 1);
 }
 
@@ -116,6 +142,7 @@ signal xag::create_gate(node_kind kind, signal a, signal b)
         ++num_ands_;
     else
         ++num_xors_;
+    log_change(id);
     return signal{id, false} ^ canon.output_parity;
 }
 
@@ -167,6 +194,7 @@ void xag::take_out(uint32_t n)
 {
     auto& nd = nodes_[n];
     unhash(n);
+    log_change(n);
     nd.dead = true;
     nd.repl = signal{n, false}; // dangling death: no replacement
     if (nd.kind == node_kind::and_gate)
@@ -229,6 +257,7 @@ void xag::substitute(uint32_t old_node, signal replacement)
 
         // Retire o: mark dead with a forwarding literal.
         unhash(o);
+        log_change(o);
         old_nd.dead = true;
         old_nd.repl = s;
         if (old_nd.kind == node_kind::and_gate)
@@ -253,6 +282,7 @@ void xag::substitute(uint32_t old_node, signal replacement)
             if (pn.dead)
                 continue;
             unhash(p);
+            log_change(p); // fanin rewired below: p's cut sets are stale
             for (auto& fi : pn.fanin)
                 if (fi.node() == o) {
                     const auto updated = s ^ fi.complemented();

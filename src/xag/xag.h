@@ -154,6 +154,41 @@ public:
     /// Throws std::logic_error with a description on violation.  For tests.
     void check_integrity() const;
 
+    // ------------------------------------------- structural-change tracking
+    //
+    // Incremental consumers (the cut maintainer, src/cut/cut_incremental.h)
+    // need to know which nodes' local structure changed between two points
+    // in time.  The network keeps a monotone `structural_version` (seeded
+    // from a process-global counter, so two different networks never share
+    // a version) and an opt-in journal: while armed, every node whose
+    // structure changes — a gate created, a fanin rewired by substitute, a
+    // node dying — is appended to `changes().nodes` (duplicates allowed;
+    // consumers dedup).  A consumer arms the log, remembers the version,
+    // and later trusts the journal exactly when the log is still armed with
+    // the same base version — any re-arm, copy, or object replacement in
+    // between breaks the match and forces a full rebuild.
+
+    // The journal is bounded: once more nodes have been recorded than an
+    // incremental consumer could profitably use (several times the node
+    // count), recording stops, the memory is released, and `overflowed`
+    // tells consumers to fall back to a full rebuild.  This also caps the
+    // cost of an armed log that its consumer abandoned (e.g. a destroyed
+    // pass_context) on a long-lived network.
+    struct change_log {
+        bool armed = false;
+        bool overflowed = false;     ///< recording stopped; do a full rebuild
+        uint64_t base_version = 0;   ///< structural_version at arm time
+        std::vector<uint32_t> nodes; ///< touched node ids since armed
+    };
+
+    uint64_t structural_version() const { return structural_version_; }
+    /// Clear the journal and start recording; base_version is the current
+    /// structural_version.
+    void arm_change_log();
+    /// Stop recording and drop the journal.
+    void disarm_change_log();
+    const change_log& changes() const { return changes_; }
+
 private:
     struct node {
         node_kind kind = node_kind::constant;
@@ -196,6 +231,21 @@ private:
     /// Erase n's current strash entry if it points at n.
     void unhash(uint32_t n);
 
+    /// Record a structural change of node n (journal + version bump).
+    void log_change(uint32_t n)
+    {
+        ++structural_version_;
+        if (!changes_.armed || changes_.overflowed)
+            return;
+        if (changes_.nodes.size() >= 8 * nodes_.size() + 65536) {
+            changes_.overflowed = true;
+            changes_.nodes.clear();
+            changes_.nodes.shrink_to_fit();
+            return;
+        }
+        changes_.nodes.push_back(n);
+    }
+
     std::vector<node> nodes_;
     std::vector<uint32_t> pis_;
     std::vector<signal> pos_;
@@ -203,6 +253,8 @@ private:
     std::unordered_map<uint64_t, uint32_t> strash_; ///< key -> stored literal
     uint32_t num_ands_ = 0;
     uint32_t num_xors_ = 0;
+    uint64_t structural_version_ = 0; ///< seeded per network, see xag()
+    change_log changes_;
 };
 
 /// Statistics bundle used by reports and benches.

@@ -202,6 +202,8 @@ void write_report(const std::string& path, const std::string& input,
                     "\"cuts_evaluated\": %llu, \"candidates_built\": %llu, "
                     "\"replacements\": %llu, \"seconds\": %.4f, "
                     "\"cut_seconds\": %.4f, \"rewrite_seconds\": %.4f, "
+                    "\"cut_nodes_reenumerated\": %llu, "
+                    "\"cut_nodes_clean\": %llu, "
                     "\"canon_cache_hit_rate\": %.4f, \"db_hits\": %llu, "
                     "\"db_misses\": %llu}%s\n",
                     rs.ands_before, rs.ands_after,
@@ -209,6 +211,10 @@ void write_report(const std::string& path, const std::string& input,
                     static_cast<unsigned long long>(rs.candidates_built),
                     static_cast<unsigned long long>(rs.replacements),
                     rs.seconds, rs.cut_seconds, rs.rewrite_seconds,
+                    static_cast<unsigned long long>(
+                        rs.cut_stats.reenumerated_nodes),
+                    static_cast<unsigned long long>(
+                        rs.cut_stats.clean_nodes),
                     rs.canon_cache_hit_rate(),
                     static_cast<unsigned long long>(rs.db_hits),
                     static_cast<unsigned long long>(rs.db_misses),
@@ -253,6 +259,10 @@ void usage(FILE* out)
         "                          the classic sequential loop\n"
         "  --no-batch              disable batched cone simulation (A/B)\n"
         "  --classify-baseline     use the scalar affine classifier (A/B)\n"
+        "  --incremental-cuts <m>  on (default) | off: maintain cut sets\n"
+        "                          incrementally across rounds vs. full\n"
+        "                          re-enumeration every round (A/B; output\n"
+        "                          is identical)\n"
         "\n"
         "output and verification:\n"
         "  -o, --output <file>     write result (.bench/.v/.txt by extension)\n"
@@ -345,6 +355,17 @@ int main(int argc, char** argv)
         else if (arg == "--no-batch") {
             opt.params.rewrite.batched_simulation = false;
             opt.params.size_rewrite.batched_simulation = false;
+        } else if (arg == "--incremental-cuts") {
+            const std::string mode = next();
+            if (mode != "on" && mode != "off") {
+                std::fprintf(stderr,
+                             "error: --incremental-cuts needs on|off, got "
+                             "'%s'\n",
+                             mode.c_str());
+                return 1;
+            }
+            opt.params.rewrite.incremental_cuts = mode == "on";
+            opt.params.size_rewrite.incremental_cuts = mode == "on";
         } else if (arg == "--classify-baseline")
             opt.params.rewrite.classification_word_parallel = false;
         else if (arg == "-o" || arg == "--output")
