@@ -56,13 +56,81 @@ grep -q '"threads": 4' FLOW_smoke_par.json || {
     exit 1
 }
 
+# Resource-governance smoke (docs/robustness.md).  Deadline: a budgeted
+# MD5 flow must stop cooperatively, emit a verified best-effort network,
+# and exit 0 — well within the wall-clock bound (deadline plus stop
+# latency, verification, and I/O).  `timeout` turns a hung stop into a
+# hard CI failure.
+timeout 30 ./build/tools/mcx --deadline 3 --flow mc+xor gen:md5 \
+    -o build/md5_deadline.bench --report FLOW_smoke_deadline.json
+grep -q '"limit_hit": true' FLOW_smoke_deadline.json || {
+    echo "ci.sh: deadline run did not record limit_hit" >&2
+    exit 1
+}
+grep -q '"outcome": "deadline_exceeded"' FLOW_smoke_deadline.json || {
+    echo "ci.sh: deadline run did not record its outcome" >&2
+    exit 1
+}
+# With --on-limit fail the same limit hit must flip the exit code to 1.
+if timeout 30 ./build/tools/mcx --deadline 3 --on-limit fail --flow mc \
+    gen:md5 >/dev/null 2>&1; then
+    echo "ci.sh: --on-limit fail did not fail on a limit hit" >&2
+    exit 1
+fi
+
+# SIGINT smoke: interrupt mcx mid-flow; the cooperative stop must still
+# verify and emit the best-effort network and exit 0, with the report
+# recording the cancellation.
+timeout 60 ./build/tools/mcx --flow mc+xor gen:md5 \
+    -o build/md5_sigint.bench --report FLOW_smoke_sigint.json \
+    >build/sigint.log 2>&1 &
+mcx_pid=$!
+sleep 2
+kill -INT "$mcx_pid"
+if ! wait "$mcx_pid"; then
+    echo "ci.sh: SIGINT-interrupted mcx did not exit 0" >&2
+    exit 1
+fi
+[ -s build/md5_sigint.bench ] || {
+    echo "ci.sh: SIGINT run did not emit a network" >&2
+    exit 1
+}
+grep -q '"outcome": "cancelled"' FLOW_smoke_sigint.json || {
+    echo "ci.sh: SIGINT run did not record cancellation" >&2
+    exit 1
+}
+# The interrupted run verified the network before writing it (that is
+# what exit 0 certifies); re-reading the file proves the emitted BENCH
+# itself is well-formed.
+./build/tools/mcx --flow cleanup build/md5_sigint.bench >/dev/null
+
+# Fault-injection smoke: an injected database-builder fault degrades the
+# flow to a verified best-effort result (exit 0, typed outcome in the
+# report); with --on-limit fail it becomes a hard failure.
+MCX_FAULT_INJECT="db-build@1" ./build/tools/mcx --flow mc gen:adder:16 \
+    --report FLOW_smoke_fault.json >/dev/null
+grep -q '"outcome": "resource_exhausted"' FLOW_smoke_fault.json || {
+    echo "ci.sh: fault run did not record resource exhaustion" >&2
+    exit 1
+}
+if MCX_FAULT_INJECT="db-build@1" ./build/tools/mcx --flow mc \
+    --on-limit fail gen:adder:16 >/dev/null 2>&1; then
+    echo "ci.sh: --on-limit fail ignored an injected fault" >&2
+    exit 1
+fi
+if MCX_FAULT_INJECT="not-a-site@1" ./build/tools/mcx --flow mc \
+    gen:adder:4 >/dev/null 2>&1; then
+    echo "ci.sh: a malformed MCX_FAULT_INJECT schedule was accepted" >&2
+    exit 1
+fi
+
 # CLI usage smoke: --help exits 0 and documents every flag the README
 # quickstart uses; an unknown flag fails with a pointed message, not a
 # usage dump.
 help_text=$(./build/tools/mcx --help)
 for flag in --flow --iterate --rounds --cut-size --cut-limit --zero-gain \
             --verify --report --seed --no-batch --classify-baseline \
-            --incremental-cuts \
+            --incremental-cuts --deadline --pass-deadline --on-limit \
             --threads --bristol --output --list-gens --list-flows; do
     grep -qe "$flag" <<<"$help_text" || {
         echo "ci.sh: mcx --help does not mention $flag" >&2
@@ -103,23 +171,27 @@ for file in README.md docs/*.md; do
 done
 [ "$docs_failed" -eq 0 ] || exit 1
 
-# ThreadSanitizer job: the parallel subsystem (thread pool, sharded
-# databases, two-phase round, level-parallel cut maintenance) and the pass
-# framework under TSan.  The par_test and cut_incremental_test determinism
-# sweeps are trimmed to one representative family each — full generator
-# sweeps under TSan's ~10x slowdown belong in a nightly, not the
-# per-commit gate.
+# Thread+UB sanitizer job: the parallel subsystem (thread pool, sharded
+# databases, two-phase round, level-parallel cut maintenance), the pass
+# framework, and the governance/fault paths under TSan with UBSan riding
+# along (-fno-sanitize-recover makes any UB a hard failure).  The par_test
+# and cut_incremental_test determinism sweeps are trimmed to one
+# representative family each — full generator sweeps under the ~10x
+# sanitizer slowdown belong in a nightly, not the per-commit gate.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
-    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-sanitize-recover=undefined" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined"
 cmake --build build-tsan -j"$(nproc)" --target par_test pass_test \
-    cut_incremental_test
+    cut_incremental_test robustness_test
 (cd build-tsan &&
     GTEST_FILTER='work_deque.*:thread_pool.*:sharded_database.*:two_phase_determinism.aes_family' \
         ctest -R par_test --output-on-failure &&
     GTEST_FILTER='cut_arena_incremental.*:cut_maintainer.*:incremental_differential.aes_family' \
         ctest -R cut_incremental_test --output-on-failure &&
-    ctest -R pass_test --output-on-failure)
+    ctest -R pass_test --output-on-failure &&
+    GTEST_FILTER='robustness.stopped_token_unblocks_waiter_on_stuck_builder:robustness.fault_matrix_verified_network_or_typed_error' \
+        ctest -R robustness_test --output-on-failure)
 
 echo "ci.sh: all gates passed (JSON artifacts: BENCH_micro_core.json," \
-     "FLOW_smoke_gen.json, FLOW_smoke_bench.json, FLOW_smoke_par.json)"
+     "FLOW_smoke_gen.json, FLOW_smoke_bench.json, FLOW_smoke_par.json," \
+     "FLOW_smoke_deadline.json, FLOW_smoke_sigint.json, FLOW_smoke_fault.json)"

@@ -1,0 +1,83 @@
+#include "core/budget.h"
+
+#include <csignal>
+#include <mutex>
+#include <string>
+
+namespace mcx {
+
+const char* to_string(outcome o)
+{
+    switch (o) {
+    case outcome::ok: return "ok";
+    case outcome::deadline_exceeded: return "deadline_exceeded";
+    case outcome::cancelled: return "cancelled";
+    case outcome::resource_exhausted: return "resource_exhausted";
+    case outcome::infeasible_input: return "infeasible_input";
+    }
+    return "unknown";
+}
+
+cancelled_error::cancelled_error(outcome reason)
+    : std::runtime_error{std::string{"execution stopped: "} +
+                         to_string(reason)},
+      reason_{reason}
+{
+}
+
+void throw_if_stopped(const cancellation_token& token)
+{
+    if (token.stop_requested()) {
+        auto reason = token.stop_reason();
+        if (reason == outcome::ok) // deadline raced between the two reads
+            reason = outcome::cancelled;
+        throw cancelled_error{reason};
+    }
+}
+
+namespace {
+
+// A signal handler may run at any point, so it must not touch shared_ptr
+// machinery.  The raw atomic is resolved once while installing handlers
+// (the state lives in a function-local static source, so it outlives the
+// process) and the handler only performs async-signal-safe operations: a
+// lock-free CAS on the first signal, std::signal + std::raise on the
+// second.
+std::atomic<uint8_t>* signal_reason_slot = nullptr;
+
+extern "C" void mcx_signal_handler(int sig)
+{
+    // Two-strike policy: the first signal requests the cooperative stop;
+    // a second one (the stop wedged, or the user is impatient) restores
+    // the default disposition and re-raises, so the process dies the
+    // conventional way instead of being unkillable short of SIGKILL.
+    if (signal_reason_slot != nullptr) {
+        uint8_t expected = 0;
+        if (signal_reason_slot->compare_exchange_strong(
+                expected, static_cast<uint8_t>(outcome::cancelled),
+                std::memory_order_relaxed))
+            return;
+    }
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+} // namespace
+
+cancellation_source& signal_cancellation()
+{
+    static cancellation_source source;
+    return source;
+}
+
+void install_signal_cancellation()
+{
+    static std::once_flag flag;
+    std::call_once(flag, [] {
+        signal_reason_slot = &signal_cancellation().state_->reason;
+        std::signal(SIGINT, mcx_signal_handler);
+        std::signal(SIGTERM, mcx_signal_handler);
+    });
+}
+
+} // namespace mcx

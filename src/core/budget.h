@@ -1,0 +1,201 @@
+// Resource-governed execution: typed outcomes, deadlines, and cooperative
+// cancellation for every long-running layer of the stack.
+//
+// Exact synthesis is intrinsically unpredictable — a single SAT instance
+// can blow from milliseconds to hours — so every loop that can run long
+// (rewrite rounds, cut sweeps, SAT search, database miss synthesis, XOR
+// resynthesis) polls a `cancellation_token` at its natural commit
+// boundaries and stops *cooperatively*: the work committed so far is kept,
+// the network stays function-equivalent, and the caller receives a typed
+// `outcome` instead of an exception or a wedged thread.
+//
+// The pieces:
+//
+//  * `outcome` — the typed result of a pass/flow/synthesis run.  `ok`
+//    means the work ran to completion; everything else names the limit
+//    that stopped it.  Non-ok never implies a broken network: stopping is
+//    only permitted where the network is consistent and verifiable.
+//  * `cancellation_token` — a cheap copyable view over a shared cancel
+//    flag plus an optional deadline.  A default-constructed token never
+//    stops anything.  Tokens compose: `with_timeout` derives a child whose
+//    deadline is the earlier of its own and the parent's, so a per-pass
+//    deadline naturally nests inside a flow deadline.
+//  * `cancellation_source` — owns the shared flag; `request()` stops every
+//    token derived from it.  Thread-safe; a single relaxed atomic store,
+//    so it is also safe from signal handlers (see signal_cancellation).
+//  * `cancelled_error` — the one sanctioned unwinding exception for layers
+//    that cannot return an outcome through their result type (database
+//    builders deep inside a parallel evaluate, level-synchronized cut
+//    sweeps).  It is always caught at the pass boundary and converted to a
+//    typed outcome; it never escapes run_flow.
+//
+// Polling cost: `stop_requested()` is one relaxed atomic load plus — only
+// when a deadline is set — one steady_clock read (~20 ns via vDSO).  Every
+// call site polls at a granularity where that is noise (per node visit,
+// per SAT conflict, per sweep level, per linear block).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+namespace mcx {
+
+/// Typed result of a governed unit of work (pass, flow, synthesis call).
+enum class outcome : uint8_t {
+    ok = 0,             ///< ran to completion
+    deadline_exceeded,  ///< a wall-clock deadline expired
+    cancelled,          ///< SIGINT/SIGTERM or programmatic cancellation
+    resource_exhausted, ///< an internal budget ran out or a component failed
+    infeasible_input,   ///< the input itself cannot be processed
+};
+
+const char* to_string(outcome o);
+
+namespace detail {
+struct cancel_state {
+    /// 0 = not cancelled; otherwise the outcome that stops the work.
+    std::atomic<uint8_t> reason{0};
+};
+} // namespace detail
+
+/// Cooperative stop signal: shared cancel flag + optional deadline.
+/// Copyable and cheap (a shared_ptr and a time point); a default token is
+/// inert and every query on it is false/ok.
+class cancellation_token {
+public:
+    cancellation_token() = default;
+
+    /// True when this token can ever request a stop (it carries a source
+    /// or a deadline) — lets hot loops skip polling entirely for the
+    /// common ungoverned case.
+    bool stop_possible() const
+    {
+        return state_ != nullptr || has_deadline_;
+    }
+
+    bool stop_requested() const
+    {
+        if (state_ != nullptr &&
+            state_->reason.load(std::memory_order_relaxed) != 0)
+            return true;
+        return has_deadline_ &&
+               std::chrono::steady_clock::now() >= deadline_;
+    }
+
+    /// The outcome that stops the work: the source's reason, else
+    /// deadline_exceeded when the deadline has passed, else ok.
+    outcome stop_reason() const
+    {
+        if (state_ != nullptr) {
+            const auto r = state_->reason.load(std::memory_order_relaxed);
+            if (r != 0)
+                return static_cast<outcome>(r);
+        }
+        if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_)
+            return outcome::deadline_exceeded;
+        return outcome::ok;
+    }
+
+    /// A child token that additionally stops at `deadline` (the earlier of
+    /// the two deadlines wins, so nesting can only tighten the bound).
+    cancellation_token
+    with_deadline(std::chrono::steady_clock::time_point deadline) const
+    {
+        cancellation_token child{*this};
+        if (!child.has_deadline_ || deadline < child.deadline_)
+            child.deadline_ = deadline;
+        child.has_deadline_ = true;
+        return child;
+    }
+
+    /// A child token that stops `seconds` from now (<= the parent's own
+    /// deadline).  Non-positive seconds leaves the token unchanged.
+    cancellation_token with_timeout(double seconds) const
+    {
+        if (seconds <= 0.0)
+            return *this;
+        return with_deadline(std::chrono::steady_clock::now() +
+                             std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(seconds)));
+    }
+
+private:
+    friend class cancellation_source;
+    std::shared_ptr<const detail::cancel_state> state_;
+    std::chrono::steady_clock::time_point deadline_{};
+    bool has_deadline_ = false;
+};
+
+/// Owner of a cancel flag.  request() stops every token derived from it.
+class cancellation_source {
+public:
+    cancellation_source()
+        : state_{std::make_shared<detail::cancel_state>()}
+    {
+    }
+
+    void request(outcome reason = outcome::cancelled)
+    {
+        state_->reason.store(static_cast<uint8_t>(reason),
+                             std::memory_order_relaxed);
+    }
+
+    bool stop_requested() const
+    {
+        return state_->reason.load(std::memory_order_relaxed) != 0;
+    }
+
+    /// Clear a previous request (tests; a served request in a long-lived
+    /// daemon).  Not meant to race an in-flight request().
+    void reset()
+    {
+        state_->reason.store(0, std::memory_order_relaxed);
+    }
+
+    cancellation_token token() const
+    {
+        cancellation_token t;
+        t.state_ = state_;
+        return t;
+    }
+
+private:
+    friend void install_signal_cancellation();
+    std::shared_ptr<detail::cancel_state> state_;
+};
+
+/// The sanctioned unwinding exception for layers whose signatures cannot
+/// carry an outcome (sharded-store builders and waiters, cut sweeps).
+/// Always caught at the pass boundary and converted to a typed outcome.
+class cancelled_error : public std::runtime_error {
+public:
+    explicit cancelled_error(outcome reason);
+    outcome reason() const { return reason_; }
+
+private:
+    outcome reason_;
+};
+
+/// Throw cancelled_error carrying `token.stop_reason()` when the token has
+/// stopped (no-op otherwise).  For call sites that unwind instead of
+/// returning an outcome.
+void throw_if_stopped(const cancellation_token& token);
+
+/// Process-wide source wired to SIGINT/SIGTERM by
+/// install_signal_cancellation().  Tokens derived from it make any flow
+/// interruptible from the terminal: the first signal performs one
+/// lock-free store (async-signal-safe) and the governed loops notice at
+/// their next poll; a second signal of the same kind restores the default
+/// disposition and re-raises, so a wedged stop never leaves the process
+/// unkillable.
+cancellation_source& signal_cancellation();
+
+/// Install SIGINT and SIGTERM handlers that request cancellation on
+/// signal_cancellation().  Idempotent.
+void install_signal_cancellation();
+
+} // namespace mcx

@@ -1,0 +1,192 @@
+#include "core/fault_inject.h"
+
+#include <array>
+#include <cstdlib>
+#include <mutex>
+
+namespace mcx {
+
+const char* to_string(fault_site site)
+{
+    switch (site) {
+    case fault_site::sat_budget: return "sat-budget";
+    case fault_site::db_build: return "db-build";
+    case fault_site::worker_task: return "worker-task";
+    case fault_site::journal_overflow: return "journal-overflow";
+    case fault_site::parse: return "parse";
+    case fault_site::count_: break;
+    }
+    return "unknown";
+}
+
+fault_injected_error::fault_injected_error(fault_site site)
+    : std::runtime_error{std::string{"injected fault at "} +
+                         to_string(site)},
+      site_{site}
+{
+}
+
+namespace fault_injection {
+
+namespace {
+
+constexpr size_t num_sites = static_cast<size_t>(fault_site::count_);
+
+struct site_state {
+    // 0 = disarmed; otherwise the (1-based) hit count that fires.
+    std::atomic<uint64_t> fire_at{0};
+    std::atomic<uint64_t> hits{0};
+};
+
+std::array<site_state, num_sites>& sites()
+{
+    static std::array<site_state, num_sites> s{};
+    return s;
+}
+
+// Serializes arm/disarm/configure against each other; fire() itself stays
+// lock-free so armed sites perturb parallel timing as little as possible.
+std::mutex& config_mutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void refresh_any_armed_locked()
+{
+    bool armed = false;
+    for (auto& s : sites())
+        if (s.fire_at.load(std::memory_order_relaxed) != 0)
+            armed = true;
+    detail::any_armed.store(armed, std::memory_order_relaxed);
+}
+
+uint64_t splitmix64(uint64_t& state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+fault_site parse_site(const std::string& name)
+{
+    for (size_t i = 0; i < num_sites; ++i) {
+        const auto site = static_cast<fault_site>(i);
+        if (name == to_string(site))
+            return site;
+    }
+    throw std::invalid_argument{"unknown fault site: " + name};
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool> any_armed{false};
+
+void fire_slow(fault_site site)
+{
+    auto& s = sites()[static_cast<size_t>(site)];
+    const uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t target = s.fire_at.load(std::memory_order_relaxed);
+    if (target != 0 && hit >= target) {
+        // One-shot: only the thread that wins the exchange throws, so a
+        // site reached concurrently by several workers injects exactly
+        // one fault per arming.
+        if (s.fire_at.compare_exchange_strong(target, 0,
+                                              std::memory_order_relaxed)) {
+            std::lock_guard<std::mutex> lock{config_mutex()};
+            refresh_any_armed_locked();
+            throw fault_injected_error{site};
+        }
+    }
+}
+
+} // namespace detail
+
+void arm(fault_site site, uint64_t nth)
+{
+    std::lock_guard<std::mutex> lock{config_mutex()};
+    auto& s = sites()[static_cast<size_t>(site)];
+    s.hits.store(0, std::memory_order_relaxed);
+    s.fire_at.store(nth == 0 ? 1 : nth, std::memory_order_relaxed);
+    refresh_any_armed_locked();
+}
+
+void disarm_all()
+{
+    std::lock_guard<std::mutex> lock{config_mutex()};
+    for (auto& s : sites()) {
+        s.fire_at.store(0, std::memory_order_relaxed);
+        s.hits.store(0, std::memory_order_relaxed);
+    }
+    detail::any_armed.store(false, std::memory_order_relaxed);
+}
+
+void configure(const std::string& schedule)
+{
+    uint64_t rng = 0;
+    bool seeded = false;
+    size_t pos = 0;
+    while (pos < schedule.size()) {
+        size_t comma = schedule.find(',', pos);
+        if (comma == std::string::npos)
+            comma = schedule.size();
+        std::string term = schedule.substr(pos, comma - pos);
+        pos = comma + 1;
+        // Trim surrounding spaces.
+        while (!term.empty() && term.front() == ' ')
+            term.erase(term.begin());
+        while (!term.empty() && term.back() == ' ')
+            term.pop_back();
+        if (term.empty())
+            continue;
+        if (term.rfind("seed=", 0) == 0) {
+            try {
+                rng = std::stoull(term.substr(5));
+            } catch (const std::exception&) {
+                throw std::invalid_argument{"bad fault seed: " + term};
+            }
+            seeded = true;
+            continue;
+        }
+        const size_t at = term.find('@');
+        uint64_t nth = 1;
+        std::string name = term;
+        if (at != std::string::npos) {
+            name = term.substr(0, at);
+            try {
+                nth = std::stoull(term.substr(at + 1));
+            } catch (const std::exception&) {
+                throw std::invalid_argument{"bad fault count: " + term};
+            }
+            if (nth == 0)
+                throw std::invalid_argument{"fault count must be >= 1: " +
+                                            term};
+        } else if (seeded) {
+            // Seeded schedule: derive a small non-trivial hit index so a
+            // single integer reproduces a varied arming pattern.
+            nth = 1 + splitmix64(rng) % 8;
+        }
+        arm(parse_site(name), nth);
+    }
+}
+
+bool configure_from_env()
+{
+    const char* env = std::getenv("MCX_FAULT_INJECT");
+    if (env == nullptr || *env == '\0')
+        return false;
+    configure(env);
+    return true;
+}
+
+uint64_t hits(fault_site site)
+{
+    return sites()[static_cast<size_t>(site)].hits.load(
+        std::memory_order_relaxed);
+}
+
+} // namespace fault_injection
+} // namespace mcx

@@ -1,0 +1,93 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code calls `fault_injection::fire(site)` at the handful of
+// places where real faults originate (SAT budget exhaustion, database
+// builder failure, worker-task exception, change-journal overflow, parser
+// errors).  When the site is disarmed — the default, and the only state
+// reachable without an explicit opt-in — `fire` is a single relaxed
+// atomic load; when armed for the nth hit it throws
+// `fault_injected_error` exactly once, so a test (or a `MCX_FAULT_INJECT`
+// environment schedule) can reproduce "the builder threw on the 3rd miss"
+// bit-for-bit on every run.
+//
+// The harness is compiled in always: the code paths exercised under
+// injection are the same ones that run in production, not an #ifdef
+// variant, and the disarmed cost is one load per potential fault site.
+//
+// Schedules are strings of `site@nth` terms, comma-separated:
+//
+//     MCX_FAULT_INJECT="db-build@3,sat-budget@1" ./mcx ...
+//
+// `site@nth` arms `site` to throw on its nth hit (1-based); a bare `site`
+// means `site@1`.  A `seed=S` term derives the nth for every *following*
+// site-without-@ from a splitmix64 stream, giving a reproducible but
+// non-trivial schedule from a single integer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mcx {
+
+enum class fault_site : uint8_t {
+    sat_budget = 0,   ///< sat::solver::solve entry — forces budget exhaustion
+    db_build,         ///< database miss-synthesis builder throws
+    worker_task,      ///< thread-pool task body throws
+    journal_overflow, ///< xag change journal forced to overflow
+    parse,            ///< BENCH/Bristol reader throws mid-parse
+    count_,           ///< sentinel, keep last
+};
+
+const char* to_string(fault_site site);
+
+/// Thrown by an armed injection point.  Deliberately NOT derived from the
+/// errors the real faults produce: tests can tell an injected fault apart
+/// from an organic one, while error-handling paths still see "some
+/// std::exception from deep inside", exactly like production.
+class fault_injected_error : public std::runtime_error {
+public:
+    explicit fault_injected_error(fault_site site);
+    fault_site site() const { return site_; }
+
+private:
+    fault_site site_;
+};
+
+namespace fault_injection {
+
+/// Arm `site` to throw on its `nth` subsequent hit (1-based).  One-shot:
+/// the site disarms itself as it fires.  Re-arming resets the countdown.
+void arm(fault_site site, uint64_t nth = 1);
+
+/// Disarm every site and zero all hit counters.
+void disarm_all();
+
+/// Parse and apply a `site@nth,...` schedule (see file comment).  Throws
+/// std::invalid_argument on malformed schedules or unknown site names.
+void configure(const std::string& schedule);
+
+/// Apply the schedule in $MCX_FAULT_INJECT, if set.  Returns true when a
+/// schedule was applied.
+bool configure_from_env();
+
+/// Times `fire(site)` was reached *while the harness was armed* since the
+/// last disarm_all() (the disarmed fast path does no counter traffic).
+uint64_t hits(fault_site site);
+
+namespace detail {
+extern std::atomic<bool> any_armed;
+void fire_slow(fault_site site);
+} // namespace detail
+
+/// Injection point.  Disarmed cost: one relaxed load (shared across all
+/// sites), no counter traffic.
+inline void fire(fault_site site)
+{
+    if (detail::any_armed.load(std::memory_order_relaxed))
+        detail::fire_slow(site);
+}
+
+} // namespace fault_injection
+} // namespace mcx

@@ -33,18 +33,55 @@ flow_result run_flow(xag& network, const flow& f, pass_context& ctx)
     result.flow_name = f.name;
     result.before = stats_of(network);
 
+    // Each pass runs under the flow token plus a fresh per-pass deadline.
+    // The context token is restored afterwards so a caller-owned context
+    // is not left governed by this flow's limits.
+    const auto saved_token = ctx.token;
+    const auto& flow_token = f.params.token;
+    bool stop_flow = false;
+
     const uint32_t max_iters =
         f.params.iterate_until_convergence ? f.params.max_flow_iterations : 1;
     uint32_t ands = network.num_ands();
-    for (uint32_t iter = 0; iter < max_iters; ++iter) {
+    for (uint32_t iter = 0; iter < max_iters && !stop_flow; ++iter) {
         ++result.iterations;
-        for (const auto& p : f.passes)
-            result.passes.push_back(p->run(network, ctx));
+        for (const auto& p : f.passes) {
+            if (flow_token.stop_requested()) {
+                result.status = flow_token.stop_reason();
+                result.limit_hit = true;
+                stop_flow = true;
+                break;
+            }
+            ctx.token =
+                flow_token.with_timeout(f.params.pass_deadline_seconds);
+            const auto ps = p->run(network, ctx);
+            result.passes.push_back(ps);
+            if (ps.status == outcome::ok)
+                continue;
+            result.limit_hit = true;
+            if (ps.status == outcome::deadline_exceeded &&
+                !flow_token.stop_requested()) {
+                // Only the pass-local deadline fired: that pass degraded
+                // to best-effort, the rest of the flow still runs (each
+                // with its own fresh budget).
+                continue;
+            }
+            // Flow-level stop (deadline/cancel) or a fault: end the flow
+            // at this pass boundary.  The network carries every commit
+            // the finished and partial passes made — all of them
+            // function-preserving.
+            result.status = ps.status;
+            stop_flow = true;
+            break;
+        }
+        if (stop_flow)
+            break;
         const auto ands_now = network.num_ands();
         if (ands_now >= ands)
             break;
         ands = ands_now;
     }
+    ctx.token = saved_token;
 
     result.after = stats_of(network);
     result.seconds = std::chrono::duration<double>(

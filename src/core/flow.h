@@ -41,6 +41,15 @@ struct flow_params {
     /// their sequential default) alone.  Results are bit-identical for
     /// any value >= 1 — see docs/parallel.md.
     uint32_t num_threads = 0;
+    /// Flow-level cooperative stop (`mcx --deadline`, SIGINT/SIGTERM).
+    /// When it stops, the running pass finishes at its next commit
+    /// boundary and the flow ends — no further passes run.
+    cancellation_token token;
+    /// Per-pass wall-clock budget in seconds (`mcx --pass-deadline`;
+    /// 0 = none).  Each pass gets a fresh deadline nested inside `token`,
+    /// so one slow pass degrades gracefully while the rest of the flow
+    /// still runs.
+    double pass_deadline_seconds = 0.0;
 };
 
 struct flow {
@@ -56,6 +65,15 @@ struct flow_result {
     double seconds = 0.0;
     uint32_t iterations = 0; ///< pass-list repetitions executed
     std::vector<pass_stats> passes; ///< one record per executed pass
+    /// Why the flow ended: ok, or the reason it stopped early (flow
+    /// deadline, cancellation, fault).  A pass-local deadline alone does
+    /// NOT stop the flow and leaves this ok — it only sets limit_hit.
+    outcome status = outcome::ok;
+    /// True when any pass was cut short by a limit or fault, including
+    /// pass-local deadlines the flow recovered from.  The emitted network
+    /// is then best-effort: consistent and function-equivalent, but not
+    /// necessarily converged.
+    bool limit_hit = false;
 };
 
 /// Execute `f` over `network` through `ctx` (whose caches/databases/arena

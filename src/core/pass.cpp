@@ -321,6 +321,15 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
     std::vector<uint32_t> leaf_nodes;
 
     for (const auto n : net.topological_order()) {
+        // Per-node visit = this engine's commit boundary: every earlier
+        // substitute() is complete and function-preserving, so stopping
+        // here leaves a consistent, equivalent network.
+        if (ctx.token.stop_requested()) {
+            stats.status = ctx.token.stop_reason();
+            if (stats.status == outcome::ok)
+                stats.status = outcome::cancelled;
+            break;
+        }
         if (!net.is_gate(n) || net.is_dead(n))
             continue;
 
@@ -509,7 +518,10 @@ void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
     // ---- phase 1: parallel evaluate over the frozen network.
     std::vector<eval_winner> winners(nodes.size());
     const auto& cuts = ctx.cuts();
+    const auto& token = ctx.token;
     pool.parallel_for(0, nodes.size(), [&](size_t idx, uint32_t worker) {
+        if (token.stop_possible() && token.stop_requested())
+            return; // leave the winner invalid; the round is discarded
         evaluate_node(net, cuts, strat, ctx.scratch(worker), allow_zero_gain,
                       batched, nodes[idx], winners[idx]);
         winners[idx].worker = worker;
@@ -522,12 +534,33 @@ void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
         stats.candidates_built += sc.candidates_built;
     }
 
+    // A stop during evaluate discards the whole round before anything is
+    // committed: a partially-scored winner array would make the committed
+    // prefix depend on timing, and the network has not been touched yet —
+    // dropping the round keeps uninterrupted runs bit-identical and the
+    // interrupted one consistent.
+    if (token.stop_requested()) {
+        stats.status = token.stop_reason();
+        if (stats.status == outcome::ok)
+            stats.status = outcome::cancelled;
+        return;
+    }
+
     // ---- phase 2: sequential commit in node order.
     auto& sim = ctx.simulator();
     std::vector<signal> leaf_sigs;
     std::vector<uint32_t> support_nodes;
     std::vector<uint32_t> full_leaves;
     for (const auto& w : winners) {
+        // Between winners every commit is complete; stopping here keeps
+        // the applied prefix (already equivalence-preserving) and drops
+        // the rest.
+        if (token.stop_possible() && token.stop_requested()) {
+            stats.status = token.stop_reason();
+            if (stats.status == outcome::ok)
+                stats.status = outcome::cancelled;
+            break;
+        }
         if (!w.valid)
             continue;
         const auto n = w.node;
@@ -616,22 +649,38 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
     const auto [cache_hits0, cache_misses0] = strat.cache_traffic();
     const auto [db_hits0, db_misses0] = strat.db_traffic();
 
-    ctx.cut_maintenance().refresh(
-        network, ctx.cuts(),
-        {.cut_size = cut_size, .cut_limit = cut_limit,
-         .incremental = incremental_cuts},
-        &stats.cut_stats,
-        num_threads >= 1 ? &ctx.pool(num_threads) : nullptr);
-    const auto cuts_done = std::chrono::steady_clock::now();
-    stats.cut_seconds =
-        std::chrono::duration<double>(cuts_done - start).count();
+    // Exceptions from the layers below — cancelled_error unwinding out of
+    // a cut sweep or a database build, an injected or organic fault from a
+    // worker task — are converted to a typed round status right here, the
+    // round boundary.  In every case the network itself is consistent:
+    // substitutions are atomic and function-preserving, and the cut
+    // maintainer invalidates itself when a sweep dies half-way (the next
+    // round simply pays for a full rebuild).
+    auto cuts_done = start;
+    try {
+        ctx.cut_maintenance().refresh(
+            network, ctx.cuts(),
+            {.cut_size = cut_size, .cut_limit = cut_limit,
+             .incremental = incremental_cuts},
+            &stats.cut_stats,
+            num_threads >= 1 ? &ctx.pool(num_threads) : nullptr, ctx.token);
+        cuts_done = std::chrono::steady_clock::now();
+        stats.cut_seconds =
+            std::chrono::duration<double>(cuts_done - start).count();
 
-    if (num_threads >= 1)
-        run_two_phase_round(network, ctx, stats, allow_zero_gain, batched,
-                            num_threads, strat);
-    else
-        run_rewrite_loop(network, ctx, stats, allow_zero_gain, batched,
-                         strat);
+        if (num_threads >= 1)
+            run_two_phase_round(network, ctx, stats, allow_zero_gain,
+                                batched, num_threads, strat);
+        else
+            run_rewrite_loop(network, ctx, stats, allow_zero_gain, batched,
+                             strat);
+    } catch (const cancelled_error& e) {
+        stats.status = e.reason();
+        ctx.cut_maintenance().invalidate();
+    } catch (const std::exception&) {
+        stats.status = outcome::resource_exhausted;
+        ctx.cut_maintenance().invalidate();
+    }
 
     stats.ands_after = network.num_ands();
     stats.xors_after = network.num_xors();
@@ -658,6 +707,7 @@ struct mc_strategy {
     mc_database& db;
     classification_cache& cache;
     round_stats& stats;
+    cancellation_token token;
 
     std::optional<signal> make_candidate(const truth_table& f,
                                          std::span<const signal> leaves)
@@ -667,7 +717,7 @@ struct mc_strategy {
             ++stats.classify_failures;
             return std::nullopt;
         }
-        const auto& entry = db.lookup_or_build(cls.representative);
+        const auto& entry = db.lookup_or_build(cls.representative, token);
         return splice_affine(net, cls.transform, leaves, entry.circuit);
     }
     /// Commit-phase builder (two-phase engine): identical to
@@ -682,7 +732,7 @@ struct mc_strategy {
         const auto& cls = sc.classification.classify(f);
         if (!cls.success)
             return std::nullopt;
-        const auto& entry = db.lookup_or_build(cls.representative);
+        const auto& entry = db.lookup_or_build(cls.representative, token);
         return splice_affine(net, cls.transform, leaves, entry.circuit);
     }
     /// Evaluate-phase cost bound (two-phase engine): the database entry's
@@ -700,7 +750,7 @@ struct mc_strategy {
             return 0;
         }
         ok = true;
-        return db.lookup_or_build(cls.representative).num_ands;
+        return db.lookup_or_build(cls.representative, token).num_ands;
     }
     int64_t mffc_cost(uint32_t root, std::span<const uint32_t> leaves) const
     {
@@ -728,12 +778,13 @@ struct size_strategy {
     size_database& db;
     npn_cache& cache;
     round_stats& stats;
+    cancellation_token token;
 
     std::optional<signal> make_candidate(const truth_table& f,
                                          std::span<const signal> leaves)
     {
         const auto& canon = cache.canonize(f);
-        const auto& entry = db.lookup_or_build(canon.representative);
+        const auto& entry = db.lookup_or_build(canon.representative, token);
         return splice_npn(net, canon.transform, leaves, entry.circuit);
     }
     /// Commit-phase builder through the scoring worker's shard; see
@@ -744,7 +795,7 @@ struct size_strategy {
                                                 pass_scratch& sc)
     {
         const auto& canon = sc.npn.canonize(f);
-        const auto& entry = db.lookup_or_build(canon.representative);
+        const auto& entry = db.lookup_or_build(canon.representative, token);
         return splice_npn(net, canon.transform, leaves, entry.circuit);
     }
     /// Evaluate-phase cost bound: the entry's gate count (splice_npn adds
@@ -754,7 +805,7 @@ struct size_strategy {
     {
         const auto& canon = sc.npn.canonize(f);
         ok = true;
-        return db.lookup_or_build(canon.representative).num_gates;
+        return db.lookup_or_build(canon.representative, token).num_gates;
     }
     int64_t mffc_cost(uint32_t root, std::span<const uint32_t> leaves) const
     {
@@ -785,6 +836,12 @@ convergence_stats run_until_convergence(xag& network, Round&& round,
     for (uint32_t i = 0; i < max_rounds; ++i) {
         const auto stats = round(network);
         result.rounds.push_back(stats);
+        if (stats.status != outcome::ok) {
+            // The round was cut short — its counters do not mean "no more
+            // gains", so this is a stop, not convergence.
+            result.status = stats.status;
+            break;
+        }
         const auto before = count_ands
                                 ? stats.ands_before
                                 : stats.ands_before + stats.xors_before;
@@ -821,7 +878,8 @@ round_stats mc_rewrite_round(xag& network, pass_context& ctx,
                          params.num_threads, params.incremental_cuts,
                          [&](round_stats& stats) {
                              return mc_strategy{network, ctx.mc_db(),
-                                                ctx.classification(), stats};
+                                                ctx.classification(), stats,
+                                                ctx.token};
                          });
 }
 
@@ -833,7 +891,8 @@ round_stats size_rewrite_round(xag& network, pass_context& ctx,
                          params.num_threads, params.incremental_cuts,
                          [&](round_stats& stats) {
                              return size_strategy{network, ctx.size_db(),
-                                                  ctx.npn(), stats};
+                                                  ctx.npn(), stats,
+                                                  ctx.token};
                          });
 }
 
@@ -852,6 +911,7 @@ pass_stats mc_rewrite_pass::run(xag& network, pass_context& ctx) const
         max_rounds_, true);
     ps.rounds = conv.rounds;
     ps.converged = conv.converged;
+    ps.status = conv.status;
     return finish_pass(ctx, std::move(ps), network, start);
 }
 
@@ -868,6 +928,7 @@ pass_stats size_rewrite_pass::run(xag& network, pass_context& ctx) const
         max_rounds_, false);
     ps.rounds = conv.rounds;
     ps.converged = conv.converged;
+    ps.status = conv.status;
     return finish_pass(ctx, std::move(ps), network, start);
 }
 
@@ -877,10 +938,12 @@ pass_stats xor_resynthesis_pass::run(xag& network, pass_context& ctx) const
     pass_stats ps;
     ps.pass_name = name();
     ps.before = stats_of(network);
-    const auto stats = xor_resynthesis(network);
+    const auto stats =
+        xor_resynthesis(network, {.token = ctx.token});
     ps.xor_blocks = stats.blocks;
     ps.xor_pairs_extracted = stats.pairs_extracted;
-    ps.converged = true;
+    ps.status = stats.status;
+    ps.converged = stats.status == outcome::ok;
     return finish_pass(ctx, std::move(ps), network, start);
 }
 

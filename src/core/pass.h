@@ -26,6 +26,7 @@
 // the round.
 #pragma once
 
+#include "core/budget.h"
 #include "cut/cut_enumeration.h"
 #include "cut/cut_incremental.h"
 #include "db/mc_database.h"
@@ -109,6 +110,10 @@ struct round_stats {
     /// Database traffic this round (lookup served vs. circuit synthesized).
     uint64_t db_hits = 0;
     uint64_t db_misses = 0;
+    /// Why the round ended: ok, or the limit/fault that stopped it early.
+    /// Non-ok rounds leave the network consistent and function-equivalent —
+    /// only the not-yet-visited nodes keep their old structure.
+    outcome status = outcome::ok;
 
     double canon_cache_hit_rate() const
     {
@@ -122,6 +127,7 @@ struct round_stats {
 struct convergence_stats {
     std::vector<round_stats> rounds;
     bool converged = false; ///< a round produced no improvement
+    outcome status = outcome::ok; ///< first non-ok round status, if any
 
     uint32_t ands_before() const
     {
@@ -155,6 +161,10 @@ struct pass_stats {
     std::vector<round_stats> rounds; ///< rewrite passes only
     uint32_t xor_blocks = 0;         ///< xor_resynthesis only
     uint32_t xor_pairs_extracted = 0; ///< xor_resynthesis only
+    /// Why the pass ended.  Non-ok means the pass stopped cooperatively at
+    /// a commit boundary: the network is consistent, function-equivalent,
+    /// and carries whatever gains were committed before the stop.
+    outcome status = outcome::ok;
 };
 
 // ---------------------------------------------------------------- context
@@ -211,6 +221,13 @@ public:
 
     /// Every pass executed against this context appends its record here.
     std::vector<pass_stats> history;
+
+    /// Cooperative stop signal for every pass run against this context.
+    /// Checked at commit boundaries (per node visit, per sweep level, per
+    /// SAT conflict inside database miss synthesis); a stopped token makes
+    /// the running pass finish early with a non-ok pass_stats::status and
+    /// the network consistent.  Default: inert (never stops anything).
+    cancellation_token token;
 
 private:
     pass_context_params params_;

@@ -335,7 +335,20 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
         }
     }
 
+    // Stopping mid-extraction (or mid-rebuild below) must not throw: the
+    // protected-ref release sweeps at the end are unconditional cleanup,
+    // so the token breaks out of the loops and the stats carry the reason.
+    uint64_t extract_steps = 0;
+    const auto stop_reason = [&]() -> outcome {
+        const auto reason = params.token.stop_reason();
+        return reason == outcome::ok ? outcome::cancelled : reason;
+    };
     while (!heap.empty()) {
+        if ((++extract_steps & 1023u) == 0 &&
+            params.token.stop_requested()) {
+            stats.status = stop_reason();
+            break;
+        }
         const auto [count, key] = heap.top();
         heap.pop();
         const auto it = pair_count.find(key);
@@ -438,6 +451,12 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
     };
 
     for (uint32_t r = 0; r < rows.size(); ++r) {
+        if (params.token.stop_requested()) {
+            // Rows already rebuilt keep their gains; the rest keep their
+            // old trees.  Either way the network stays equivalent.
+            stats.status = stop_reason();
+            break;
+        }
         const auto& row = rows[r];
         if (network.is_dead(row.root))
             continue; // collapsed by an earlier substitution in this pass

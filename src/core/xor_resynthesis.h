@@ -11,6 +11,7 @@
 // function — is untouched by construction.
 #pragma once
 
+#include "core/budget.h"
 #include "xag/xag.h"
 
 #include <cstdint>
@@ -32,6 +33,12 @@ struct xor_resynthesis_params {
     /// the old hard cap left them.  0 = unlimited.  Selection depends
     /// only on the sorted row widths, so it is deterministic.
     uint64_t pairing_work_budget = 2'000'000;
+    /// Cooperative stop.  Checked between pair extractions and between row
+    /// rebuilds; stopping skips the remaining work (the rows already
+    /// rebuilt keep their gains, the rest keep their old trees) and the
+    /// stats carry the stop reason — the network is always left consistent
+    /// and function-equivalent.
+    cancellation_token token;
 };
 
 struct xor_resynthesis_stats {
@@ -42,6 +49,7 @@ struct xor_resynthesis_stats {
     uint32_t widest_row = 0;      ///< terms in the widest linear row seen
     uint32_t rows_paired = 0;     ///< rows admitted to pair extraction
     uint32_t widest_row_paired = 0; ///< widest row admitted
+    outcome status = outcome::ok; ///< non-ok when a token stopped the pass
 };
 
 /// Rewrite all maximal linear blocks.  Function-preserving; the AND count

@@ -54,7 +54,8 @@ bool cut_maintainer::can_update(const xag& net, const cut_sets& sets,
 
 bool cut_maintainer::refresh(xag& net, cut_sets& sets,
                              const cut_enumeration_params& params,
-                             cut_enumeration_stats* stats, thread_pool* pool)
+                             cut_enumeration_stats* stats, thread_pool* pool,
+                             const cancellation_token& token)
 {
     if (params.cut_size < 2 || params.cut_size > max_cut_size)
         throw std::invalid_argument{
@@ -73,7 +74,15 @@ bool cut_maintainer::refresh(xag& net, cut_sets& sets,
     }
 
     const bool incremental = can_update(net, sets, params);
-    sweep(net, sets, params, stats, pool, /*full=*/!incremental);
+    try {
+        sweep(net, sets, params, stats, pool, /*full=*/!incremental, token);
+    } catch (...) {
+        // The arena is half-updated; make sure neither this maintainer nor
+        // a stale journal can certify it as finished.
+        invalidate();
+        net.disarm_change_log();
+        throw;
+    }
 
     net_ = &net;
     sets_ = &sets;
@@ -87,7 +96,7 @@ bool cut_maintainer::refresh(xag& net, cut_sets& sets,
 void cut_maintainer::sweep(const xag& net, cut_sets& sets,
                            const cut_enumeration_params& params,
                            cut_enumeration_stats* stats, thread_pool* pool,
-                           bool full)
+                           bool full, const cancellation_token& token)
 {
     const auto order = net.topological_order();
     const size_t num_nodes = net.size();
@@ -169,6 +178,9 @@ void cut_maintainer::sweep(const xag& net, cut_sets& sets,
     level_synchronized_sweep(
         pool, num_levels,
         [&](size_t level) -> size_t {
+            // The plan step runs on the caller thread between levels — the
+            // one safe point to abandon the sweep (no kernels in flight).
+            throw_if_stopped(token);
             recompute_.clear();
             for (size_t idx = level_offsets_[level];
                  idx < level_offsets_[level + 1]; ++idx) {

@@ -38,6 +38,7 @@
 // the A/B baseline for the bench.
 #pragma once
 
+#include "core/budget.h"
 #include "cut/cut_enumeration.h"
 #include "par/thread_pool.h"
 #include "xag/xag.h"
@@ -57,10 +58,16 @@ public:
     /// disarms tracking.  `pool` (optional) parallelizes the sweep
     /// level-by-level; results are identical with or without it.  Returns
     /// true when the refresh was incremental.
+    ///
+    /// A stopped `token` aborts the sweep between levels with
+    /// `cancelled_error`; the maintainer invalidates itself first, so the
+    /// half-updated arena can never be mistaken for a finished refresh —
+    /// the next refresh is a full rebuild.
     bool refresh(xag& net, cut_sets& sets,
                  const cut_enumeration_params& params,
                  cut_enumeration_stats* stats = nullptr,
-                 thread_pool* pool = nullptr);
+                 thread_pool* pool = nullptr,
+                 const cancellation_token& token = {});
 
     /// Forget the tracked network: the next refresh is a full rebuild.
     void invalidate();
@@ -70,7 +77,8 @@ private:
                     const cut_enumeration_params& params) const;
     void sweep(const xag& net, cut_sets& sets,
                const cut_enumeration_params& params,
-               cut_enumeration_stats* stats, thread_pool* pool, bool full);
+               cut_enumeration_stats* stats, thread_pool* pool, bool full,
+               const cancellation_token& token);
 
     // Identity of the tracked (network, arena) pair — compared, never
     // dereferenced, so staleness is harmless (the armed-journal check

@@ -1,5 +1,6 @@
 #include "db/mc_database.h"
 
+#include "core/fault_inject.h"
 #include "exact/heuristic_mc.h"
 #include "xag/cleanup.h"
 
@@ -79,32 +80,42 @@ xag deserialize_single_output(const std::string& text)
 }
 
 const mc_database::entry& mc_database::lookup_or_build(
-    const truth_table& representative)
+    const truth_table& representative, const cancellation_token& token)
 {
-    return entries_.lookup_or_build(representative, [&](const truth_table&
-                                                            rep) {
-        entry e;
-        bool built = false;
-        if (params_.use_exact) {
-            const auto exact = exact_mc_synthesis(
-                rep, {.max_ands = params_.exact_max_ands,
-                      .conflict_budget = params_.exact_conflict_budget});
-            if (exact.success) {
-                e.circuit = exact.circuit;
-                e.num_ands = exact.num_ands;
-                e.optimal = exact.optimal;
-                built = true;
-                exact_entries_.fetch_add(1, std::memory_order_relaxed);
+    return entries_.lookup_or_build(
+        representative,
+        [&](const truth_table& rep) {
+            fault_injection::fire(fault_site::db_build);
+            entry e;
+            bool built = false;
+            if (params_.use_exact) {
+                const auto exact = exact_mc_synthesis(
+                    rep, {.max_ands = params_.exact_max_ands,
+                          .conflict_budget = params_.exact_conflict_budget,
+                          .token = token});
+                if (exact.success) {
+                    e.circuit = exact.circuit;
+                    e.num_ands = exact.num_ands;
+                    e.optimal = exact.optimal;
+                    built = true;
+                    exact_entries_.fetch_add(1, std::memory_order_relaxed);
+                }
             }
-        }
-        if (!built) {
-            e.circuit = heuristic_mc_circuit(rep);
-            e.num_ands = e.circuit.num_ands();
-            e.optimal = false;
-            heuristic_entries_.fetch_add(1, std::memory_order_relaxed);
-        }
-        return e;
-    });
+            if (!built) {
+                // An interrupted search must not be memoized as this
+                // class's answer; unwind and leave the slot failed so an
+                // uncancelled lookup rebuilds it.  (Budget exhaustion is
+                // not interruption: the heuristic below IS the answer
+                // under that budget, cached with optimal = false.)
+                throw_if_stopped(token);
+                e.circuit = heuristic_mc_circuit(rep);
+                e.num_ands = e.circuit.num_ands();
+                e.optimal = false;
+                heuristic_entries_.fetch_add(1, std::memory_order_relaxed);
+            }
+            return e;
+        },
+        token);
 }
 
 void mc_database::save(std::ostream& os) const

@@ -68,7 +68,15 @@ public:
     /// exact/heuristic synthesis once per class, ever — also under
     /// concurrent lookups (see the file comment).  The returned reference
     /// stays valid for the database's lifetime.
-    const entry& lookup_or_build(const truth_table& representative);
+    ///
+    /// A stopped `token` unwinds with `cancelled_error` instead of caching
+    /// anything: a build interrupted mid-search must not be memoized as
+    /// this class's answer (its slot is marked failed and rebuilt by the
+    /// next uncancelled lookup).  Genuine budget exhaustion is different —
+    /// the heuristic fallback IS the answer under that budget and is
+    /// cached, but never with `optimal` set.
+    const entry& lookup_or_build(const truth_table& representative,
+                                 const cancellation_token& token = {});
 
     size_t size() const { return entries_.size(); }
     uint64_t exact_entries() const

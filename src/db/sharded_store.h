@@ -17,8 +17,11 @@
 // lifetime: values live in map nodes and nothing is ever erased.
 #pragma once
 
+#include "core/budget.h"
+
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -42,8 +45,17 @@ public:
     /// the slot is marked failed and the next lookup (a waiter, or a
     /// later caller) takes over the build — nobody hangs on a value that
     /// never arrives.
+    ///
+    /// A stopped `token` unblocks waiters too: instead of waiting
+    /// unconditionally on a builder that may itself be stuck (the builder
+    /// runs caller-supplied code outside the shard lock), waiters poll the
+    /// token between short condition-variable waits and unwind with
+    /// `cancelled_error`.  The slot is left exactly as the builder will
+    /// eventually publish it, so nothing is corrupted if the builder does
+    /// finish later.
     template <typename Builder>
-    const Value& lookup_or_build(const Key& key, Builder&& build)
+    const Value& lookup_or_build(const Key& key, Builder&& build,
+                                 const cancellation_token& token = {})
     {
         auto& sh = shard_for(key);
         std::unique_lock lock{sh.mutex};
@@ -51,8 +63,17 @@ public:
         // invalidated), so `s` stays valid across the unlocked build.
         slot& s = sh.map.try_emplace(key).first->second;
         if (s.state != slot_state::empty) {
-            sh.ready.wait(lock,
-                          [&] { return s.state != slot_state::building; });
+            if (token.stop_possible()) {
+                while (!sh.ready.wait_for(
+                    lock, std::chrono::milliseconds{50},
+                    [&] { return s.state != slot_state::building; })) {
+                    if (token.stop_requested())
+                        throw cancelled_error{token.stop_reason()};
+                }
+            } else {
+                sh.ready.wait(
+                    lock, [&] { return s.state != slot_state::building; });
+            }
             if (s.state == slot_state::ready) {
                 state_->hits.fetch_add(1, std::memory_order_relaxed);
                 return s.value;

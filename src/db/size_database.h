@@ -32,8 +32,11 @@ public:
 
     /// Circuit for an NPN representative (at most 4 variables).
     /// Thread-safe; synthesized once per class, reference valid for the
-    /// database's lifetime.
-    const entry& lookup_or_build(const truth_table& representative);
+    /// database's lifetime.  A stopped `token` unwinds with
+    /// `cancelled_error` instead of caching a half-searched answer (see
+    /// mc_database::lookup_or_build).
+    const entry& lookup_or_build(const truth_table& representative,
+                                 const cancellation_token& token = {});
 
     size_t size() const { return entries_.size(); }
     /// Lookups served from the memoized entries vs. synthesis runs (a

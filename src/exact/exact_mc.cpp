@@ -158,10 +158,15 @@ exact_mc_result exact_mc_synthesis(const truth_table& f,
 
     const auto lb = mc_lower_bound(f);
     bool all_refuted = true;
+    bool budget_hit = false;
     for (uint32_t k = std::max(lb, 1u); k <= params.max_ands; ++k) {
+        if (params.token.stop_requested()) {
+            result.status = params.token.stop_reason();
+            return result;
+        }
         solver s;
         const auto enc = build_encoding(s, f, k);
-        switch (s.solve(params.conflict_budget)) {
+        switch (s.solve(params.conflict_budget, params.token)) {
         case solve_result::satisfiable: {
             result.success = true;
             result.optimal = all_refuted;
@@ -179,9 +184,14 @@ exact_mc_result exact_mc_synthesis(const truth_table& f,
             break; // try one more AND gate
         case solve_result::undecided:
             all_refuted = false; // optimality can no longer be certified
+            budget_hit = true;
             break;
         }
     }
+    if (params.token.stop_requested())
+        result.status = params.token.stop_reason();
+    else if (budget_hit)
+        result.status = outcome::resource_exhausted;
     return result;
 }
 

@@ -13,6 +13,7 @@
 // searched upward from the degree lower bound MC(f) >= deg(f) - 1.
 #pragma once
 
+#include "core/budget.h"
 #include "tt/truth_table.h"
 #include "xag/xag.h"
 
@@ -23,12 +24,18 @@ namespace mcx {
 struct exact_mc_params {
     uint32_t max_ands = 7;           ///< give up beyond this many AND gates
     uint64_t conflict_budget = 200'000; ///< per k-step; 0 = unlimited
+    cancellation_token token;        ///< cooperative stop (checked per conflict)
 };
 
 struct exact_mc_result {
     bool success = false; ///< a circuit was found
     bool optimal = false; ///< every smaller k was refuted (or bound met)
     uint32_t num_ands = 0;
+    /// Why the search ended: ok (completed, succeeded or exhausted k range),
+    /// resource_exhausted (a conflict budget left some k undecided and no
+    /// circuit was found), or the token's stop reason.  A budget-undecided
+    /// step always clears `optimal` — "unknown" is never promoted to UNSAT.
+    outcome status = outcome::ok;
     xag circuit; ///< f.num_vars() PIs, one PO (valid when success)
 };
 

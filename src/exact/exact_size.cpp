@@ -193,10 +193,15 @@ exact_size_result exact_size_synthesis(const truth_table& f,
         return result;
 
     bool all_refuted = true;
+    bool budget_hit = false;
     for (uint32_t r = 1; r <= params.max_gates; ++r) {
+        if (params.token.stop_requested()) {
+            result.status = params.token.stop_reason();
+            return result;
+        }
         solver s;
         const auto enc = build_encoding(s, f, r);
-        switch (s.solve(params.conflict_budget)) {
+        switch (s.solve(params.conflict_budget, params.token)) {
         case solve_result::satisfiable: {
             result.success = true;
             result.optimal = all_refuted;
@@ -211,9 +216,14 @@ exact_size_result exact_size_synthesis(const truth_table& f,
             break;
         case solve_result::undecided:
             all_refuted = false;
+            budget_hit = true;
             break;
         }
     }
+    if (params.token.stop_requested())
+        result.status = params.token.stop_reason();
+    else if (budget_hit)
+        result.status = outcome::resource_exhausted;
     return result;
 }
 

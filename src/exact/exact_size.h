@@ -4,6 +4,7 @@
 // both AND and XOR gates"; see DESIGN.md substitution X2).
 #pragma once
 
+#include "core/budget.h"
 #include "tt/truth_table.h"
 #include "xag/xag.h"
 
@@ -14,12 +15,15 @@ namespace mcx {
 struct exact_size_params {
     uint32_t max_gates = 12;            ///< give up beyond this many gates
     uint64_t conflict_budget = 200'000; ///< per step; 0 = unlimited
+    cancellation_token token;           ///< cooperative stop
 };
 
 struct exact_size_result {
     bool success = false;
     bool optimal = false;
     uint32_t num_gates = 0;
+    /// Why the search ended (see exact_mc_result::status).
+    outcome status = outcome::ok;
     xag circuit; ///< f.num_vars() PIs, one PO (valid when success)
 };
 

@@ -1,5 +1,7 @@
 #include "io/bench.h"
 
+#include "core/fault_inject.h"
+
 #include <algorithm>
 #include <cctype>
 #include <fstream>
@@ -66,6 +68,7 @@ void write_bench_file(const xag& network, const std::string& path)
 
 xag read_bench(std::istream& is)
 {
+    fault_injection::fire(fault_site::parse);
     xag net;
     std::unordered_map<std::string, signal> signals;
     std::vector<std::pair<std::string, std::string>> pending_gates;
@@ -91,11 +94,17 @@ xag read_bench(std::istream& is)
         const auto open = compact.find('(');
         const auto close = compact.rfind(')');
         if (compact.rfind("INPUT(", 0) == 0) {
+            if (close == std::string::npos)
+                throw std::invalid_argument{"read_bench: malformed line: " +
+                                            line};
             const auto name = compact.substr(6, close - 6);
             signals.emplace(name, net.create_pi());
             continue;
         }
         if (compact.rfind("OUTPUT(", 0) == 0) {
+            if (close == std::string::npos)
+                throw std::invalid_argument{"read_bench: malformed line: " +
+                                            line};
             outputs.push_back(compact.substr(7, close - 7));
             continue;
         }
@@ -114,7 +123,7 @@ xag read_bench(std::istream& is)
             continue;
         }
         if (eq == std::string::npos || open == std::string::npos ||
-            close == std::string::npos || open < eq)
+            close == std::string::npos || open < eq || close < open)
             throw std::invalid_argument{"read_bench: malformed line: " + line};
         const auto target = compact.substr(0, eq);
         auto kind = compact.substr(eq + 1, open - eq - 1);
@@ -161,6 +170,9 @@ xag read_bench(std::istream& is)
             std::vector<signal> ins;
             for (const auto& a : args)
                 ins.push_back(signals.at(a));
+            if (ins.empty())
+                throw std::invalid_argument{"read_bench: gate '" + target +
+                                            "' has no operands"};
             signal out;
             const auto tree = [&](auto&& combine) {
                 auto acc = ins[0];

@@ -1,5 +1,7 @@
 #include "io/bristol.h"
 
+#include "core/fault_inject.h"
+
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -104,11 +106,17 @@ void write_bristol_file(const xag& network, const std::string& path)
 
 xag read_bristol(std::istream& is)
 {
+    fault_injection::fire(fault_site::parse);
     uint64_t num_gates = 0, num_wires = 0;
     if (!(is >> num_gates >> num_wires))
         throw std::invalid_argument{"read_bristol: malformed header"};
+    // The wire table is allocated up front, so reject implausible headers
+    // before they become multi-gigabyte allocations.
+    constexpr uint64_t max_wires = 1ull << 28;
+    if (num_wires == 0 || num_wires > max_wires)
+        throw std::invalid_argument{"read_bristol: implausible wire count"};
     uint32_t num_input_values = 0;
-    if (!(is >> num_input_values))
+    if (!(is >> num_input_values) || num_input_values > num_wires)
         throw std::invalid_argument{"read_bristol: malformed input list"};
     uint64_t total_inputs = 0;
     std::vector<uint64_t> input_widths(num_input_values);
@@ -117,8 +125,10 @@ xag read_bristol(std::istream& is)
             throw std::invalid_argument{"read_bristol: malformed input list"};
         total_inputs += w;
     }
+    if (total_inputs > num_wires)
+        throw std::invalid_argument{"read_bristol: more inputs than wires"};
     uint32_t num_output_values = 0;
-    if (!(is >> num_output_values))
+    if (!(is >> num_output_values) || num_output_values > num_wires)
         throw std::invalid_argument{"read_bristol: malformed output list"};
     uint64_t total_outputs = 0;
     for (uint32_t i = 0; i < num_output_values; ++i) {
@@ -127,6 +137,8 @@ xag read_bristol(std::istream& is)
             throw std::invalid_argument{"read_bristol: malformed output list"};
         total_outputs += w;
     }
+    if (total_outputs > num_wires)
+        throw std::invalid_argument{"read_bristol: more outputs than wires"};
 
     xag net;
     std::vector<signal> wires(num_wires, net.get_constant(false));
@@ -146,11 +158,17 @@ xag read_bristol(std::istream& is)
         uint32_t fan_in = 0, fan_out = 0;
         if (!(is >> fan_in >> fan_out))
             throw std::invalid_argument{"read_bristol: malformed gate"};
+        // Every gate this format knows has 1-2 inputs and one output; a
+        // wild arity is a corrupt file (and would be an allocation bomb).
+        if (fan_in < 1 || fan_in > 2 || fan_out != 1)
+            throw std::invalid_argument{"read_bristol: bad gate arity"};
         std::vector<uint64_t> ins(fan_in), outs(fan_out);
         for (auto& w : ins)
-            is >> w;
+            if (!(is >> w))
+                throw std::invalid_argument{"read_bristol: truncated gate"};
         for (auto& w : outs)
-            is >> w;
+            if (!(is >> w))
+                throw std::invalid_argument{"read_bristol: truncated gate"};
         std::string kind;
         if (!(is >> kind))
             throw std::invalid_argument{"read_bristol: malformed gate"};

@@ -1,5 +1,7 @@
 #include "par/thread_pool.h"
 
+#include "core/fault_inject.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -148,8 +150,14 @@ void thread_pool::run_job(uint32_t worker)
         const size_t hi = std::min(job_end_, lo + job_grain_);
         try {
             for (size_t i = lo;
-                 i < hi && !cancelled_.load(std::memory_order_relaxed); ++i)
+                 i < hi && !cancelled_.load(std::memory_order_relaxed);
+                 ++i) {
+                // Injected task failure rides the exact production path: it
+                // is captured as first_exception_ and rethrown on the
+                // caller, like any exception escaping a task body.
+                fault_injection::fire(fault_site::worker_task);
                 (*body_)(i, worker);
+            }
         } catch (...) {
             {
                 std::lock_guard lock{exception_mutex_};
@@ -177,8 +185,10 @@ void thread_pool::parallel_for(
         // Inline fast path: no chunking, no synchronization.
         in_parallel_region = true;
         try {
-            for (size_t i = begin; i < end; ++i)
+            for (size_t i = begin; i < end; ++i) {
+                fault_injection::fire(fault_site::worker_task);
                 body(i, 0);
+            }
         } catch (...) {
             in_parallel_region = false;
             throw;

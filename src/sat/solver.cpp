@@ -1,5 +1,7 @@
 #include "sat/solver.h"
 
+#include "core/fault_inject.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -376,14 +378,26 @@ uint64_t solver::luby(uint64_t i)
     return uint64_t{1} << seq;
 }
 
-solve_result solver::solve(uint64_t conflict_budget)
+solve_result solver::solve(uint64_t conflict_budget,
+                           const cancellation_token& token)
 {
+    // Injected budget exhaustion: converted to `undecided` right here, the
+    // same value a genuinely exhausted budget produces, so callers'
+    // unknown-vs-UNSAT handling is exercised on the real return path.
+    try {
+        fault_injection::fire(fault_site::sat_budget);
+    } catch (const fault_injected_error&) {
+        return solve_result::undecided;
+    }
+
     if (unsat_)
         return solve_result::unsatisfiable;
     if (propagate() != no_reason) {
         unsat_ = true;
         return solve_result::unsatisfiable;
     }
+    if (token.stop_possible() && token.stop_requested())
+        return solve_result::undecided;
 
     uint64_t restart_count = 0;
     uint64_t conflicts_until_restart = 100 * luby(restart_count);
@@ -418,6 +432,10 @@ solve_result solver::solve(uint64_t conflict_budget)
             decay_var_activity();
             clause_inc_ /= 0.999;
             if (conflict_budget != 0 && stats_.conflicts >= conflict_budget) {
+                backtrack(0);
+                return solve_result::undecided;
+            }
+            if (token.stop_possible() && token.stop_requested()) {
                 backtrack(0);
                 return solve_result::undecided;
             }

@@ -6,6 +6,8 @@
 // formal equivalence checking of optimized networks (src/sat/equivalence.h).
 #pragma once
 
+#include "core/budget.h"
+
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -64,7 +66,11 @@ public:
     }
 
     /// Solve; `conflict_budget` = 0 means no budget (run to completion).
-    solve_result solve(uint64_t conflict_budget = 0);
+    /// A stopped `token` (deadline or cancellation) ends the search at the
+    /// next conflict with `undecided` — the same honest "don't know" that
+    /// budget exhaustion yields, never a fabricated UNSAT.
+    solve_result solve(uint64_t conflict_budget = 0,
+                       const cancellation_token& token = {});
 
     /// Model value of a variable after a satisfiable solve.
     bool model_value(uint32_t var) const { return assign_[var] == 1; }

@@ -12,6 +12,8 @@
 //    cascading merge/fold (the "DAG-aware" part of DAG-aware rewriting).
 #pragma once
 
+#include "core/fault_inject.h"
+
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -237,7 +239,17 @@ private:
         ++structural_version_;
         if (!changes_.armed || changes_.overflowed)
             return;
-        if (changes_.nodes.size() >= 8 * nodes_.size() + 65536) {
+        // An injected journal-overflow fault takes the same degradation
+        // path as a real one — overflow is a state, not an exception, so
+        // the injection is absorbed here rather than thrown onward.
+        bool force_overflow = false;
+        try {
+            fault_injection::fire(fault_site::journal_overflow);
+        } catch (const fault_injected_error&) {
+            force_overflow = true;
+        }
+        if (force_overflow ||
+            changes_.nodes.size() >= 8 * nodes_.size() + 65536) {
             changes_.overflowed = true;
             changes_.nodes.clear();
             changes_.nodes.shrink_to_fit();

@@ -5,6 +5,7 @@
 // between incremental and full-rebuild modes for every engine and thread
 // count.  The scalar seed path rides along as a second oracle: its cut
 // sets AND its stat counters must match the word-parallel path 1:1.
+#include "core/fault_inject.h"
 #include "core/flow.h"
 #include "cut/cut_incremental.h"
 #include "gen/aes.h"
@@ -285,6 +286,52 @@ TEST(cut_maintainer, journal_overflow_bounds_memory_and_forces_rebuild)
     EXPECT_EQ(stats.clean_nodes, 0u);
     expect_identical_cut_sets(sets, enumerate_cuts(net), "after overflow");
     EXPECT_FALSE(net.changes().overflowed) << "re-arm clears the flag";
+}
+
+TEST(cut_maintainer, injected_journal_overflow_forces_full_rebuild)
+{
+    // The fault-injection site rides the real degradation path: an armed
+    // journal-overflow fault makes the next journaled change flip the log
+    // to overflowed (flag set, memory released) exactly like organic entry
+    // growth — and the following refresh must fall back to a full rebuild
+    // with oracle-identical sets.
+    auto net = random_network(43);
+    cut_maintainer maint;
+    cut_sets sets;
+    maint.refresh(net, sets, {});
+    ASSERT_TRUE(net.changes().armed);
+
+    fault_injection::arm(fault_site::journal_overflow);
+    std::mt19937_64 rng{9};
+    random_surgery(net, rng, 3);
+    fault_injection::disarm_all();
+    ASSERT_TRUE(net.changes().overflowed);
+    EXPECT_TRUE(net.changes().nodes.empty()) << "overflow must release";
+
+    cut_enumeration_stats stats;
+    EXPECT_FALSE(maint.refresh(net, sets, {}, &stats));
+    EXPECT_EQ(stats.clean_nodes, 0u);
+    expect_identical_cut_sets(sets, enumerate_cuts(net),
+                              "after injected overflow");
+    EXPECT_FALSE(net.changes().overflowed) << "re-arm clears the flag";
+}
+
+TEST(cut_maintainer, stopped_token_invalidates_half_done_refresh)
+{
+    auto net = random_network(47);
+    cut_maintainer maint;
+    cut_sets sets;
+    cancellation_source src;
+    src.request();
+    EXPECT_THROW(
+        maint.refresh(net, sets, {}, nullptr, nullptr, src.token()),
+        cancelled_error);
+    // The maintainer invalidated itself before unwinding: the next
+    // ungoverned refresh is a full rebuild with oracle-identical sets.
+    cut_enumeration_stats stats;
+    EXPECT_FALSE(maint.refresh(net, sets, {}, &stats));
+    EXPECT_EQ(stats.clean_nodes, 0u);
+    expect_identical_cut_sets(sets, enumerate_cuts(net), "after cancel");
 }
 
 TEST(cut_maintainer, oracle_mode_always_full)

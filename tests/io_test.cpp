@@ -92,6 +92,39 @@ TEST(bristol_io, rejects_malformed)
     EXPECT_THROW(read_bristol(bad2), std::invalid_argument);
 }
 
+TEST(bristol_io, rejects_malformed_table)
+{
+    // Every entry must raise a clean std::invalid_argument — no crash, no
+    // huge allocation, no silently wrong circuit.
+    const struct {
+        const char* label;
+        const char* text;
+    } cases[] = {
+        {"empty", ""},
+        {"header only", "2 5\n"},
+        {"zero wires", "1 0\n1 1\n1 1\n\n"},
+        {"allocation bomb wires", "1 99999999999\n1 2\n1 1\n\n"},
+        {"inputs exceed wires", "1 3\n1 9\n1 1\n\n2 1 0 1 2 AND\n"},
+        {"outputs exceed wires", "1 3\n1 2\n1 9\n\n2 1 0 1 2 AND\n"},
+        {"input value bomb", "1 8\n4000000000\n"},
+        {"truncated input widths", "1 8\n2 4\n"},
+        {"truncated output list", "1 8\n1 4\n2 2\n"},
+        {"truncated gate", "1 3\n1 2\n1 1\n\n2 1 0\n"},
+        {"missing gate kind", "1 3\n1 2\n1 1\n\n2 1 0 1 2\n"},
+        {"bad arity", "1 3\n1 2\n1 1\n\n7 1 0 1 0 1 0 1 0 2 AND\n"},
+        {"multi-output gate", "1 4\n1 2\n1 1\n\n2 2 0 1 2 3 AND\n"},
+        {"unsupported gate", "1 3\n1 2\n1 1\n\n2 1 0 1 2 MAJ\n"},
+        {"input wire out of range", "1 3\n1 2\n1 1\n\n2 1 0 9 2 AND\n"},
+        {"output wire out of range", "1 3\n1 2\n1 1\n\n2 1 0 1 9 AND\n"},
+        {"use of undefined wire", "2 4\n1 2\n1 1\n\n2 1 0 3 2 AND\n"
+                                  "2 1 0 1 3 AND\n"},
+    };
+    for (const auto& c : cases) {
+        std::stringstream is{c.text};
+        EXPECT_THROW(read_bristol(is), std::invalid_argument) << c.label;
+    }
+}
+
 TEST(bench_io, roundtrip_preserves_function)
 {
     for (const uint64_t seed : {4u, 5u}) {
@@ -128,6 +161,33 @@ TEST(bench_io, unresolved_gate_throws)
 {
     std::stringstream src{"INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n"};
     EXPECT_THROW(read_bench(src), std::invalid_argument);
+}
+
+TEST(bench_io, rejects_malformed_table)
+{
+    const struct {
+        const char* label;
+        const char* text;
+    } cases[] = {
+        {"input missing close paren", "INPUT(a\nOUTPUT(f)\nf = BUFF(a)\n"},
+        {"output missing close paren", "INPUT(a)\nOUTPUT(f\nf = BUFF(a)\n"},
+        {"gate missing close paren", "INPUT(a)\nOUTPUT(f)\nf = BUFF(a\n"},
+        {"gate missing open paren", "INPUT(a)\nOUTPUT(f)\nf = BUFFa)\n"},
+        {"parens before equals", "INPUT(a)\nOUTPUT(f)\nf(x) = a\n"},
+        {"close before open", "INPUT(a)\nOUTPUT(f)\nf = )BUFF(a\n"},
+        {"empty operand list", "INPUT(a)\nOUTPUT(f)\nf = AND()\n"},
+        {"empty not", "INPUT(a)\nOUTPUT(f)\nf = NOT()\n"},
+        {"bad constant", "INPUT(a)\nOUTPUT(f)\nf = CONST7\n"},
+        {"unsupported gate", "INPUT(a)\nINPUT(b)\nOUTPUT(f)\n"
+                             "f = MAJ(a, b, a)\n"},
+        {"undefined output", "INPUT(a)\nOUTPUT(nope)\nf = BUFF(a)\n"},
+        {"combinational cycle", "INPUT(a)\nOUTPUT(f)\n"
+                                "f = AND(a, g)\ng = AND(a, f)\n"},
+    };
+    for (const auto& c : cases) {
+        std::stringstream is{c.text};
+        EXPECT_THROW(read_bench(is), std::invalid_argument) << c.label;
+    }
 }
 
 TEST(verilog_io, emits_valid_structure)

@@ -7,10 +7,23 @@
 //   $ mcx --flow mc+xor circuit.bench -o optimized.bench --report r.json
 //   $ mcx --flow mc gen:adder:64
 //   $ mcx --flow size-baseline --bristol input.txt -o out.txt
+//   $ mcx --deadline 30 --flow mc gen:md5 -o best_effort.bench
 //   $ mcx --list-gens
 //
-// Exit codes: 0 success (equivalence verified), 1 usage/input error,
-// 2 verification failure.
+// Execution is resource-governed (docs/robustness.md): `--deadline` bounds
+// the whole flow, `--pass-deadline` each pass, and SIGINT/SIGTERM request
+// the same cooperative stop.  On any limit the flow halts at the next
+// commit boundary, the network committed so far is equivalence-verified
+// and emitted, and the JSON report records the outcome per pass.
+//
+// Exit codes (the contract ci.sh and scripts rely on):
+//   0  success — equivalence verified; includes best-effort results under
+//      a limit unless --on-limit=fail
+//   1  failure — verification failed, input unreadable/malformed, or an
+//      internal fault; with --on-limit=fail also any limit hit
+//   2  usage error — bad flags, unknown generator/pass/mode
+#include "core/budget.h"
+#include "core/fault_inject.h"
 #include "core/flow.h"
 #include "gen/aes.h"
 #include "gen/arithmetic.h"
@@ -134,8 +147,6 @@ std::optional<xag> make_generator_circuit(const std::string& spec)
     for (const auto& g : generators())
         if (parts[1] == g.name)
             return g.make(args);
-    std::fprintf(stderr, "error: unknown generator '%s' (try --list-gens)\n",
-                 parts[1].c_str());
     return std::nullopt;
 }
 
@@ -179,12 +190,16 @@ void write_report(const std::string& path, const std::string& input,
     json_xag_stats(f, "after", result.after);
     std::fprintf(f, ",\n  \"iterations\": %u,\n  \"total_seconds\": %.4f,\n",
                  result.iterations, result.seconds);
+    std::fprintf(f, "  \"outcome\": \"%s\",\n  \"limit_hit\": %s,\n",
+                 to_string(result.status),
+                 result.limit_hit ? "true" : "false");
     std::fprintf(f, "  \"passes\": [\n");
     for (size_t i = 0; i < result.passes.size(); ++i) {
         const auto& p = result.passes[i];
         std::fprintf(f, "    {\"name\": \"%s\", \"seconds\": %.4f, "
-                     "\"threads\": %u, ",
-                     p.pass_name.c_str(), p.seconds, p.num_threads);
+                     "\"threads\": %u, \"outcome\": \"%s\", ",
+                     p.pass_name.c_str(), p.seconds, p.num_threads,
+                     to_string(p.status));
         json_xag_stats(f, "before", p.before);
         std::fprintf(f, ", ");
         json_xag_stats(f, "after", p.after);
@@ -264,6 +279,19 @@ void usage(FILE* out)
         "                          re-enumeration every round (A/B; output\n"
         "                          is identical)\n"
         "\n"
+        "resource limits (docs/robustness.md):\n"
+        "  --deadline <sec>        wall-clock budget for the whole flow; on\n"
+        "                          expiry the flow stops at the next commit\n"
+        "                          boundary and emits the best verified\n"
+        "                          network so far.  SIGINT/SIGTERM trigger\n"
+        "                          the same cooperative stop\n"
+        "  --pass-deadline <sec>   wall-clock budget per pass; a pass that\n"
+        "                          overruns degrades to best-effort while\n"
+        "                          the rest of the flow still runs\n"
+        "  --on-limit <mode>       best-effort (default): a limit hit still\n"
+        "                          exits 0 with the report flagged | fail:\n"
+        "                          exit 1 when any limit was hit\n"
+        "\n"
         "output and verification:\n"
         "  -o, --output <file>     write result (.bench/.v/.txt by extension)\n"
         "  --bristol               Bristol-fashion input (and output)\n"
@@ -276,8 +304,9 @@ void usage(FILE* out)
         "  --list-flows            list pass names\n"
         "  -h, --help              this text\n"
         "\n"
-        "exit codes: 0 success (equivalence verified), 1 usage/input error,\n"
-        "            2 verification failure\n");
+        "exit codes: 0 success (equivalence verified; includes best-effort\n"
+        "            under a limit), 1 failure (verification/input/fault,\n"
+        "            or limit hit with --on-limit fail), 2 usage error\n");
 }
 
 struct options {
@@ -288,9 +317,17 @@ struct options {
     std::string verify = "sim";
     bool bristol = false;
     bool iterate = false;
+    bool fail_on_limit = false; ///< --on-limit fail
+    double deadline_seconds = 0.0;
+    double pass_deadline_seconds = 0.0;
     uint64_t seed = 1;
     flow_params params;
 };
+
+// Exit codes of the documented contract (header comment + usage()).
+constexpr int exit_ok = 0;
+constexpr int exit_failure = 1;
+constexpr int exit_usage = 2;
 
 bool ends_with(const std::string& s, const char* suffix)
 {
@@ -308,7 +345,7 @@ int main(int argc, char** argv)
         const auto next = [&]() -> const char* {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
-                std::exit(1);
+                std::exit(exit_usage);
             }
             return argv[++i];
         };
@@ -323,7 +360,36 @@ int main(int argc, char** argv)
             } catch (const std::exception&) {
                 std::fprintf(stderr, "error: %s needs a number, got '%s'\n",
                              arg.c_str(), value);
-                std::exit(1);
+                std::exit(exit_usage);
+            }
+        };
+        const auto next_seconds = [&]() -> double {
+            const char* value = next();
+            try {
+                size_t consumed = 0;
+                const auto s = std::stod(value, &consumed);
+                if (consumed != std::strlen(value) || s <= 0.0)
+                    throw std::invalid_argument{value};
+                return s;
+            } catch (const std::exception&) {
+                std::fprintf(stderr,
+                             "error: %s needs a positive number of seconds, "
+                             "got '%s'\n",
+                             arg.c_str(), value);
+                std::exit(exit_usage);
+            }
+        };
+        const auto parse_on_limit = [&](const std::string& mode) {
+            if (mode == "best-effort")
+                opt.fail_on_limit = false;
+            else if (mode == "fail")
+                opt.fail_on_limit = true;
+            else {
+                std::fprintf(stderr,
+                             "error: --on-limit needs best-effort|fail, got "
+                             "'%s'\n",
+                             mode.c_str());
+                std::exit(exit_usage);
             }
         };
         if (arg == "--flow")
@@ -348,7 +414,7 @@ int main(int argc, char** argv)
             if (n == 0) {
                 std::fprintf(stderr,
                              "error: --threads needs a value >= 1\n");
-                return 1;
+                return exit_usage;
             }
             opt.params.num_threads = n;
         }
@@ -362,12 +428,20 @@ int main(int argc, char** argv)
                              "error: --incremental-cuts needs on|off, got "
                              "'%s'\n",
                              mode.c_str());
-                return 1;
+                return exit_usage;
             }
             opt.params.rewrite.incremental_cuts = mode == "on";
             opt.params.size_rewrite.incremental_cuts = mode == "on";
         } else if (arg == "--classify-baseline")
             opt.params.rewrite.classification_word_parallel = false;
+        else if (arg == "--deadline")
+            opt.deadline_seconds = next_seconds();
+        else if (arg == "--pass-deadline")
+            opt.pass_deadline_seconds = next_seconds();
+        else if (arg == "--on-limit")
+            parse_on_limit(next());
+        else if (arg.rfind("--on-limit=", 0) == 0)
+            parse_on_limit(arg.substr(std::strlen("--on-limit=")));
         else if (arg == "-o" || arg == "--output")
             opt.output = next();
         else if (arg == "--bristol")
@@ -393,24 +467,61 @@ int main(int argc, char** argv)
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "error: unknown option '%s' (see --help)\n",
                          arg.c_str());
-            return 1;
+            return exit_usage;
         } else
             opt.input = arg;
     }
     if (opt.input.empty()) {
         std::fprintf(stderr, "error: no input given\n\n");
         usage(stderr);
-        return 1;
+        return exit_usage;
     }
     opt.params.iterate_until_convergence = opt.iterate;
+
+    // Deterministic fault injection (tests/CI only; inert without the env
+    // var).  A malformed schedule is a usage error.
+    try {
+        fault_injection::configure_from_env();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: bad MCX_FAULT_INJECT schedule: %s\n",
+                     e.what());
+        return exit_usage;
+    }
+
+    // SIGINT/SIGTERM and --deadline share one cooperative stop channel:
+    // the signal source's token, narrowed by the flow deadline.
+    install_signal_cancellation();
+    opt.params.token =
+        signal_cancellation().token().with_timeout(opt.deadline_seconds);
+    opt.params.pass_deadline_seconds = opt.pass_deadline_seconds;
+
+    // Validate the flow spec before touching the input: a bad spec is a
+    // usage error, not an optimization failure.
+    flow f;
+    try {
+        f = make_flow(opt.flow_spec, opt.params);
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s (see --list-flows)\n", e.what());
+        return exit_usage;
+    }
 
     try {
         // ------------------------------------------------------- read input
         xag net;
         if (opt.input.rfind("gen:", 0) == 0) {
-            auto made = make_generator_circuit(opt.input);
-            if (!made)
-                return 1;
+            std::optional<xag> made;
+            try {
+                made = make_generator_circuit(opt.input);
+            } catch (const std::exception&) {
+                // stoul on a non-numeric generator argument
+            }
+            if (!made) {
+                std::fprintf(stderr,
+                             "error: unknown generator spec '%s' "
+                             "(see --list-gens)\n",
+                             opt.input.c_str());
+                return exit_usage;
+            }
             net = std::move(*made);
         } else if (opt.bristol || ends_with(opt.input, ".txt") ||
                    ends_with(opt.input, ".bristol")) {
@@ -426,9 +537,15 @@ int main(int argc, char** argv)
                     net.num_ands(), net.num_xors(), and_depth(net));
 
         // --------------------------------------------------------- run flow
-        const auto f = make_flow(opt.flow_spec, opt.params);
         pass_context ctx{context_params(opt.params)};
         const auto result = run_flow(net, f, ctx);
+        if (result.limit_hit)
+            std::fprintf(stderr,
+                         "note: limit hit (%s); the emitted network is the "
+                         "best-effort state at the last commit boundary\n",
+                         result.status == outcome::ok
+                             ? "pass deadline"
+                             : to_string(result.status));
         for (const auto& p : result.passes)
             std::printf("  pass %-16s %5u -> %5u AND, %6u -> %6u XOR "
                         "(%.2fs%s)\n",
@@ -464,7 +581,7 @@ int main(int argc, char** argv)
         } else if (opt.verify != "none") {
             std::fprintf(stderr, "error: unknown --verify mode '%s'\n",
                          opt.verify.c_str());
-            return 1;
+            return exit_usage;
         }
 
         if (!opt.report.empty())
@@ -473,7 +590,7 @@ int main(int argc, char** argv)
             std::fprintf(stderr,
                          "FAIL: optimized network is NOT equivalent (%s)\n",
                          method.c_str());
-            return 2;
+            return exit_failure;
         }
 
         // ------------------------------------------------------------ write
@@ -495,9 +612,11 @@ int main(int argc, char** argv)
                     result.seconds, result.iterations,
                     result.iterations == 1 ? "" : "s",
                     method == "none" ? "unverified" : "verified");
+        if (result.limit_hit && opt.fail_on_limit)
+            return exit_failure;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return exit_failure;
     }
-    return 0;
+    return exit_ok;
 }
