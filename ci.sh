@@ -21,7 +21,18 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+# The committed BENCH_micro_core.json is reference data; regenerating it
+# must not change the schema (a bench that grows or renames keys has to
+# commit the regenerated file alongside the code, docs/artifacts.md).
+json_keys() { grep -oE '"[a-z_0-9]+":' "$1" | sort -u; }
+json_keys BENCH_micro_core.json >build/bench_keys_committed.txt
 ./build/bench_micro_core
+json_keys BENCH_micro_core.json >build/bench_keys_fresh.txt
+diff -u build/bench_keys_committed.txt build/bench_keys_fresh.txt || {
+    echo "ci.sh: BENCH_micro_core.json is stale" \
+         "(regenerate it with ./build/bench_micro_core and commit)" >&2
+    exit 1
+}
 
 # Flow smoke: generator input, then BENCH round-trip of the same circuit.
 ./build/tools/mcx --flow mc+xor gen:adder:16 \
@@ -37,6 +48,33 @@ cmake --build build -j"$(nproc)"
     -o build/adder16_noinc.bench
 cmp build/adder16_opt.bench build/adder16_noinc.bench || {
     echo "ci.sh: --incremental-cuts off output differs from the default" >&2
+    exit 1
+}
+
+# Incremental-evaluate smoke: the dirty-set evaluate cache (the default)
+# must be byte-invisible next to full re-evaluation every round
+# (docs/hot-path.md dirty-set contract).
+./build/tools/mcx --flow mc+xor --incremental-eval off gen:adder:16 \
+    -o build/adder16_noeval.bench
+cmp build/adder16_opt.bench build/adder16_noeval.bench || {
+    echo "ci.sh: --incremental-eval off output differs from the default" >&2
+    exit 1
+}
+
+# All-oracle smoke: every incremental subsystem disabled at once, with the
+# cold whole-network SAT miter as the verifier — the slowest, most direct
+# pipeline there is.  Output must still match the all-incremental default,
+# and the iterated flow must pass warm incremental SAT verification too.
+./build/tools/mcx --flow mc+xor --incremental-cuts off --incremental-eval off \
+    --verify sat-cold gen:adder:16 -o build/adder16_oracle.bench
+cmp build/adder16_opt.bench build/adder16_oracle.bench || {
+    echo "ci.sh: all-oracle run output differs from the incremental default" >&2
+    exit 1
+}
+./build/tools/mcx --flow mc+xor --iterate --verify sat gen:adder:16 \
+    -o build/adder16_satwarm.bench --report FLOW_smoke_sat.json
+grep -q '"sat_conflicts"' FLOW_smoke_sat.json || {
+    echo "ci.sh: --verify sat report lacks per-check solver records" >&2
     exit 1
 }
 
@@ -130,7 +168,8 @@ fi
 help_text=$(./build/tools/mcx --help)
 for flag in --flow --iterate --rounds --cut-size --cut-limit --zero-gain \
             --verify --report --seed --no-batch --classify-baseline \
-            --incremental-cuts --deadline --pass-deadline --on-limit \
+            --incremental-cuts --incremental-eval --sat-commits \
+            --deadline --pass-deadline --on-limit \
             --threads --bristol --output --list-gens --list-flows; do
     grep -qe "$flag" <<<"$help_text" || {
         echo "ci.sh: mcx --help does not mention $flag" >&2
@@ -182,16 +221,19 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-sanitize-recover=undefined" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined"
 cmake --build build-tsan -j"$(nproc)" --target par_test pass_test \
-    cut_incremental_test robustness_test
+    cut_incremental_test incremental_eval_test robustness_test
 (cd build-tsan &&
     GTEST_FILTER='work_deque.*:thread_pool.*:sharded_database.*:two_phase_determinism.aes_family' \
         ctest -R par_test --output-on-failure &&
     GTEST_FILTER='cut_arena_incremental.*:cut_maintainer.*:incremental_differential.aes_family' \
         ctest -R cut_incremental_test --output-on-failure &&
+    GTEST_FILTER='evaluate_differential.aes_family:evaluate_cache.*' \
+        ctest -R incremental_eval_test --output-on-failure &&
     ctest -R pass_test --output-on-failure &&
     GTEST_FILTER='robustness.stopped_token_unblocks_waiter_on_stuck_builder:robustness.fault_matrix_verified_network_or_typed_error' \
         ctest -R robustness_test --output-on-failure)
 
 echo "ci.sh: all gates passed (JSON artifacts: BENCH_micro_core.json," \
      "FLOW_smoke_gen.json, FLOW_smoke_bench.json, FLOW_smoke_par.json," \
-     "FLOW_smoke_deadline.json, FLOW_smoke_sigint.json, FLOW_smoke_fault.json)"
+     "FLOW_smoke_sat.json, FLOW_smoke_deadline.json, FLOW_smoke_sigint.json," \
+     "FLOW_smoke_fault.json)"

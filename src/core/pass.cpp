@@ -301,6 +301,20 @@ std::optional<scored_candidate> build_scored_candidate(
                             saved - static_cast<int64_t>(created)};
 }
 
+/// Incremental-evaluate and commit-verification wiring for one round,
+/// derived by generic_round from the maintainer/cache coherence handshake.
+/// `cache == nullptr` disables caching entirely; `cache_valid` says the
+/// surviving entries may be consulted this round (`dirty` is then the
+/// maintainer's fanout closure over everything that changed since they
+/// were written).  `verifier`, when set, SAT-checks every replacement
+/// cone against its pre-image before the substitute commits.
+struct round_env {
+    evaluate_cache* cache = nullptr;
+    bool cache_valid = false;
+    std::span<const uint8_t> dirty;
+    sat::cone_verifier* verifier = nullptr;
+};
+
 /// The ONE rewrite loop shared by the proposed method and the size
 /// baseline.  `Strategy` supplies the candidate builder and the cost model
 /// (see mc_strategy / size_strategy below); everything else — leaf
@@ -308,7 +322,8 @@ std::optional<scored_candidate> build_scored_candidate(
 /// commit — is common.
 template <typename Strategy>
 void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
-                      bool allow_zero_gain, bool batched, Strategy& strat)
+                      bool allow_zero_gain, bool batched, Strategy& strat,
+                      const round_env& env)
 {
     const auto& cuts = ctx.cuts();
     auto& sim = ctx.simulator();
@@ -319,6 +334,50 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
     std::vector<uint8_t> valid;                     // per-cut validity
     std::vector<signal> leaf_sigs;
     std::vector<uint32_t> leaf_nodes;
+    std::vector<uint32_t> best_leaves; // winning cut's full leaf set
+
+    // The cacheable outcome of a sequential visit is one bit — "found no
+    // improvement" — because improvements commit immediately and kill the
+    // node (evaluate_cache::no_improvement).
+    auto* cache = env.cache;
+    if (cache != nullptr && cache->no_improvement.size() < net.size())
+        cache->no_improvement.resize(net.size(), 0);
+
+    // Within-round context overlay.  The maintainer's dirty set is frozen
+    // at refresh time and cannot see this round's own commits, but this
+    // engine evaluates against the live network — so a node is only
+    // skipped when additionally nothing committed *this round* reaches
+    // its cone.  After every visit the journal suffix is consumed under
+    // the maintainer's seed rule (live journaled node plus fanins; stored
+    // fanins of pre-existing nodes that died; nothing for nodes spliced
+    // and released inside the round — net-zero on every neighbour) and
+    // each seed's transitive fanout is marked through the explicit fanout
+    // lists.  A disarmed or overflowed journal degrades the overlay to
+    // all-dirty: skips stop, correctness keeps (docs/hot-path.md, "The
+    // evaluate dirty-set contract").
+    const uint32_t round_start_size = static_cast<uint32_t>(net.size());
+    bool overlay_all =
+        cache == nullptr || !net.changes().armed || net.changes().overflowed;
+    std::vector<uint8_t> ctx_dirty;
+    if (!overlay_all)
+        ctx_dirty.assign(net.size(), 0);
+    size_t journal_consumed = overlay_all ? 0 : net.changes().nodes.size();
+    std::vector<uint32_t> tfo_stack;
+    const auto seed_tfo = [&](uint32_t x) {
+        if (x >= ctx_dirty.size() || ctx_dirty[x] != 0)
+            return;
+        ctx_dirty[x] = 1;
+        tfo_stack.push_back(x);
+        while (!tfo_stack.empty()) {
+            const auto cur = tfo_stack.back();
+            tfo_stack.pop_back();
+            for (const auto parent : net.fanouts(cur))
+                if (parent < ctx_dirty.size() && ctx_dirty[parent] == 0) {
+                    ctx_dirty[parent] = 1;
+                    tfo_stack.push_back(parent);
+                }
+        }
+    };
 
     for (const auto n : net.topological_order()) {
         // Per-node visit = this engine's commit boundary: every earlier
@@ -333,6 +392,19 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
         if (!net.is_gate(n) || net.is_dead(n))
             continue;
 
+        // ---- skip rule: the previous visit found no improvement, and
+        // neither the refresh-level dirty set nor the within-round overlay
+        // has reached n's cone since.  Skipped visits have no side effects
+        // (candidate splicing is net-zero on refs, strash and fanouts), so
+        // the resulting network is structurally identical to the oracle's.
+        if (env.cache_valid && !overlay_all && n < env.dirty.size() &&
+            env.dirty[n] == 0 && ctx_dirty[n] == 0 &&
+            cache->no_improvement[n] != 0) {
+            ++stats.nodes_clean;
+            continue;
+        }
+        ++stats.nodes_evaluated;
+
         // ---- phases 1-2: resolve leaves, evaluate all cut functions -----
         // No candidate has been spliced yet for this node, so every
         // existing cone node keeps its value throughout phase 3: computing
@@ -341,8 +413,11 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
         const auto num_resolved = resolve_and_simulate(
             net, cuts[n], n, sim, batched, resolved, words, chunk_words,
             valid, stats.cuts_evaluated);
-        if (num_resolved == 0)
+        if (num_resolved == 0) {
+            if (cache != nullptr)
+                cache->no_improvement[n] = 1;
             continue;
+        }
         const std::span<const cone_simulator::leaf_set> active{
             resolved.data(), num_resolved};
 
@@ -383,15 +458,59 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
                 best = scored->sig;
                 best_gain = scored->gain;
                 have_best = true;
+                best_leaves.assign(cut_leaves.begin(), cut_leaves.end());
             } else {
                 net.release_ref(net.resolve(scored->sig));
             }
         }
 
+        bool rejected = false;
+        if (have_best && env.verifier != nullptr &&
+            env.verifier->verify(net, n, best, best_leaves, 0, ctx.token) ==
+                sat::equivalence_result::not_equivalent) {
+            // The simulation proof and the SAT proof disagree: keep the
+            // network untouched, and leave the node uncached so it is
+            // re-examined next round.
+            net.release_ref(net.resolve(best));
+            have_best = false;
+            rejected = true;
+        }
         if (have_best) {
             net.substitute(n, best);
             net.release_ref(net.resolve(best));
             ++stats.replacements;
+        } else if (cache != nullptr && !rejected) {
+            cache->no_improvement[n] = 1;
+        }
+
+        // ---- consume the journal suffix this visit appended.
+        if (!overlay_all) {
+            if (!net.changes().armed || net.changes().overflowed) {
+                overlay_all = true;
+            } else {
+                const auto& journal = net.changes().nodes;
+                if (journal.size() > journal_consumed) {
+                    if (ctx_dirty.size() < net.size())
+                        ctx_dirty.resize(net.size(), 0);
+                    for (size_t j = journal_consumed; j < journal.size();
+                         ++j) {
+                        const auto id = journal[j];
+                        if (!net.is_dead(id)) {
+                            seed_tfo(id);
+                            if (net.is_gate(id)) {
+                                seed_tfo(net.fanin0(id).node());
+                                seed_tfo(net.fanin1(id).node());
+                            }
+                        } else if (id < round_start_size &&
+                                   net.is_gate(id)) {
+                            seed_tfo(net.fanin0(id).node());
+                            seed_tfo(net.fanin1(id).node());
+                        }
+                        // else: spliced and released inside the round.
+                    }
+                    journal_consumed = journal.size();
+                }
+            }
         }
     }
 }
@@ -424,20 +543,8 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
 // but both converge, and the parallel engine's output depends only on the
 // input network and the parameters, never on the thread count.
 
-/// Best replacement found for one node by the evaluate phase.
-struct eval_winner {
-    uint32_t node = 0;
-    truth_table function;                 ///< support-shrunk cut function
-    std::array<uint32_t, 6> cut_leaves{}; ///< resolved full leaf set
-    std::array<uint8_t, 6> support{};     ///< indices into cut_leaves
-    uint8_t num_cut_leaves = 0;
-    uint8_t num_support = 0;
-    /// Worker that scored this node — its cache shard already holds the
-    /// function's classification, so the commit phase classifies through
-    /// the same shard (a warm hit) instead of re-running the search cold.
-    uint32_t worker = 0;
-    bool valid = false;
-};
+// (eval_winner lives in pass.h now: it doubles as the evaluate cache's
+// payload for the incremental-evaluate path.)
 
 template <typename Strategy>
 void evaluate_node(const xag& net, const cut_sets& cuts, Strategy& strat,
@@ -493,7 +600,8 @@ void evaluate_node(const xag& net, const cut_sets& cuts, Strategy& strat,
 template <typename Strategy>
 void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
                          bool allow_zero_gain, bool batched,
-                         uint32_t num_threads, Strategy& strat)
+                         uint32_t num_threads, Strategy& strat,
+                         const round_env& env)
 {
     // Gate nodes in topological order: the evaluate phase's index space
     // and the commit phase's application order.
@@ -515,13 +623,33 @@ void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
         shard_misses0 += m;
     }
 
-    // ---- phase 1: parallel evaluate over the frozen network.
+    // ---- phase 1: parallel evaluate over the frozen network — but only
+    // for nodes the maintainer's dirty set reaches.  A winner is a pure
+    // function of (network, cut sets, node), so a clean node's cached
+    // winner from an earlier round is byte-equal to what re-evaluating it
+    // would produce, at any thread count.
+    auto* cache = env.cache;
     std::vector<eval_winner> winners(nodes.size());
+    std::vector<uint32_t> fresh; // indices into `nodes` needing evaluation
+    fresh.reserve(nodes.size());
+    for (size_t idx = 0; idx < nodes.size(); ++idx) {
+        const auto n = nodes[idx];
+        if (env.cache_valid && n < env.dirty.size() && env.dirty[n] == 0 &&
+            n < cache->has_entry.size() && cache->has_entry[n] != 0) {
+            winners[idx] = cache->winners[n];
+            ++stats.nodes_clean;
+        } else {
+            fresh.push_back(static_cast<uint32_t>(idx));
+        }
+    }
+    stats.nodes_evaluated += fresh.size();
+
     const auto& cuts = ctx.cuts();
     const auto& token = ctx.token;
-    pool.parallel_for(0, nodes.size(), [&](size_t idx, uint32_t worker) {
+    pool.parallel_for(0, fresh.size(), [&](size_t i, uint32_t worker) {
         if (token.stop_possible() && token.stop_requested())
             return; // leave the winner invalid; the round is discarded
+        const auto idx = fresh[i];
         evaluate_node(net, cuts, strat, ctx.scratch(worker), allow_zero_gain,
                       batched, nodes[idx], winners[idx]);
         winners[idx].worker = worker;
@@ -538,12 +666,29 @@ void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
     // committed: a partially-scored winner array would make the committed
     // prefix depend on timing, and the network has not been touched yet —
     // dropping the round keeps uninterrupted runs bit-identical and the
-    // interrupted one consistent.
+    // interrupted one consistent.  The cache is poisoned by the same
+    // partial scoring, so it resets too.
     if (token.stop_requested()) {
+        if (cache != nullptr)
+            cache->reset();
         stats.status = token.stop_reason();
         if (stats.status == outcome::ok)
             stats.status = outcome::cancelled;
         return;
+    }
+
+    // Store the freshly scored winners back by node id; the cache now
+    // reflects the refresh this round started from (generic_round stamps
+    // the serial after the engine returns).
+    if (cache != nullptr) {
+        if (cache->winners.size() < net.size()) {
+            cache->winners.resize(net.size());
+            cache->has_entry.resize(net.size(), 0);
+        }
+        for (const auto idx : fresh) {
+            cache->winners[nodes[idx]] = winners[idx];
+            cache->has_entry[nodes[idx]] = 1;
+        }
     }
 
     // ---- phase 2: sequential commit in node order.
@@ -605,8 +750,14 @@ void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
             nullptr);
         if (!scored)
             continue;
-        if (scored->sig.node() != n &&
-            scored->gain > (allow_zero_gain ? -1 : 0)) {
+        bool commit = scored->sig.node() != n &&
+                      scored->gain > (allow_zero_gain ? -1 : 0);
+        if (commit && env.verifier != nullptr &&
+            env.verifier->verify(net, n, scored->sig, full_leaves, 0,
+                                 token) ==
+                sat::equivalence_result::not_equivalent)
+            commit = false; // simulation and SAT disagree: keep the node
+        if (commit) {
             net.substitute(n, scored->sig);
             net.release_ref(net.resolve(scored->sig));
             ++stats.replacements;
@@ -638,16 +789,24 @@ template <typename StrategyFactory>
 round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
                           uint32_t cut_limit, bool allow_zero_gain,
                           bool batched, uint32_t num_threads,
-                          bool incremental_cuts,
-                          StrategyFactory&& make_strategy)
+                          bool incremental_cuts, bool incremental_evaluate,
+                          bool sat_verify, StrategyFactory&& make_strategy)
 {
     const auto start = std::chrono::steady_clock::now();
     round_stats stats;
     auto strat = make_strategy(stats);
+    using strategy_type = std::remove_reference_t<decltype(strat)>;
     stats.ands_before = network.num_ands();
     stats.xors_before = network.num_xors();
     const auto [cache_hits0, cache_misses0] = strat.cache_traffic();
     const auto [db_hits0, db_misses0] = strat.db_traffic();
+    uint64_t verify_checks0 = 0, verify_conflicts0 = 0, verify_warm0 = 0;
+    if (sat_verify) {
+        const auto& v = ctx.commit_verifier();
+        verify_checks0 = v.checks();
+        verify_conflicts0 = v.conflicts();
+        verify_warm0 = v.warm_starts();
+    }
 
     // Exceptions from the layers below — cancelled_error unwinding out of
     // a cut sweep or a database build, an injected or organic fault from a
@@ -658,7 +817,8 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
     // round simply pays for a full rebuild).
     auto cuts_done = start;
     try {
-        ctx.cut_maintenance().refresh(
+        auto& maint = ctx.cut_maintenance();
+        maint.refresh(
             network, ctx.cuts(),
             {.cut_size = cut_size, .cut_limit = cut_limit,
              .incremental = incremental_cuts},
@@ -668,18 +828,63 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
         stats.cut_seconds =
             std::chrono::duration<double>(cuts_done - start).count();
 
+        // ---- incremental-evaluate handshake (docs/hot-path.md).  The
+        // cache is consulted iff it was populated against this exact
+        // network at the previous refresh serial, the refresh chain is
+        // unbroken (this refresh was incremental, so its dirty set covers
+        // the whole window since the entries were written), and every
+        // parameter that shapes an evaluation matches.  Anything else
+        // resets the cache; it repopulates this round and is usable the
+        // next.  The engine tag matters because the two engines cache
+        // different payloads; the thread count does not — winners are
+        // thread-count independent.
+        round_env env;
+        if (sat_verify)
+            env.verifier = &ctx.commit_verifier();
+        if (incremental_evaluate && incremental_cuts) {
+            auto& cache = ctx.eval_cache();
+            env.cache = &cache;
+            const uint8_t engine = num_threads >= 1 ? 1 : 0;
+            env.cache_valid =
+                cache.net == &network && cache.cut_size == cut_size &&
+                cache.cut_limit == cut_limit &&
+                cache.allow_zero_gain == allow_zero_gain &&
+                cache.batched == batched &&
+                cache.strategy == strategy_type::kind &&
+                cache.engine == engine &&
+                maint.last_refresh_incremental() &&
+                cache.serial + 1 == maint.refresh_serial();
+            if (env.cache_valid) {
+                env.dirty = maint.evaluate_dirty();
+            } else {
+                cache.reset();
+                cache.net = &network;
+                cache.cut_size = cut_size;
+                cache.cut_limit = cut_limit;
+                cache.allow_zero_gain = allow_zero_gain;
+                cache.batched = batched;
+                cache.strategy = strategy_type::kind;
+                cache.engine = engine;
+            }
+        }
+
         if (num_threads >= 1)
             run_two_phase_round(network, ctx, stats, allow_zero_gain,
-                                batched, num_threads, strat);
+                                batched, num_threads, strat, env);
         else
             run_rewrite_loop(network, ctx, stats, allow_zero_gain, batched,
-                             strat);
+                             strat, env);
+
+        if (env.cache != nullptr)
+            env.cache->serial = maint.refresh_serial();
     } catch (const cancelled_error& e) {
         stats.status = e.reason();
         ctx.cut_maintenance().invalidate();
+        ctx.eval_cache().reset();
     } catch (const std::exception&) {
         stats.status = outcome::resource_exhausted;
         ctx.cut_maintenance().invalidate();
+        ctx.eval_cache().reset();
     }
 
     stats.ands_after = network.num_ands();
@@ -697,12 +902,19 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
     stats.canon_cache_misses += cache_misses1 - cache_misses0;
     stats.db_hits = db_hits1 - db_hits0;
     stats.db_misses = db_misses1 - db_misses0;
+    if (sat_verify) {
+        const auto& v = ctx.commit_verifier();
+        stats.sat_verifications = v.checks() - verify_checks0;
+        stats.sat_conflicts = v.conflicts() - verify_conflicts0;
+        stats.sat_warm_starts = v.warm_starts() - verify_warm0;
+    }
     return stats;
 }
 
 /// Proposed method: affine classification + AND-minimal database, AND-count
 /// cost model.
 struct mc_strategy {
+    static constexpr uint8_t kind = 0; ///< evaluate_cache::strategy tag
     xag& net;
     mc_database& db;
     classification_cache& cache;
@@ -774,6 +986,7 @@ struct mc_strategy {
 /// Size baseline: NPN canonization + gate-minimal database, unit cost for
 /// AND and XOR.
 struct size_strategy {
+    static constexpr uint8_t kind = 1; ///< evaluate_cache::strategy tag
     xag& net;
     size_database& db;
     npn_cache& cache;
@@ -876,6 +1089,8 @@ round_stats mc_rewrite_round(xag& network, pass_context& ctx,
     return generic_round(network, ctx, params.cut_size, params.cut_limit,
                          params.allow_zero_gain, params.batched_simulation,
                          params.num_threads, params.incremental_cuts,
+                         params.incremental_evaluate,
+                         params.sat_verify_commits,
                          [&](round_stats& stats) {
                              return mc_strategy{network, ctx.mc_db(),
                                                 ctx.classification(), stats,
@@ -889,6 +1104,8 @@ round_stats size_rewrite_round(xag& network, pass_context& ctx,
     return generic_round(network, ctx, params.cut_size, params.cut_limit,
                          params.allow_zero_gain, params.batched_simulation,
                          params.num_threads, params.incremental_cuts,
+                         params.incremental_evaluate,
+                         params.sat_verify_commits,
                          [&](round_stats& stats) {
                              return size_strategy{network, ctx.size_db(),
                                                   ctx.npn(), stats,
@@ -938,8 +1155,13 @@ pass_stats xor_resynthesis_pass::run(xag& network, pass_context& ctx) const
     pass_stats ps;
     ps.pass_name = name();
     ps.before = stats_of(network);
-    const auto stats =
-        xor_resynthesis(network, {.token = ctx.token});
+    xor_resynthesis_params xp;
+    xp.token = ctx.token;
+    if (num_threads_ >= 1) {
+        xp.pool = &ctx.pool(num_threads_);
+        ps.num_threads = num_threads_;
+    }
+    const auto stats = xor_resynthesis(network, xp);
     ps.xor_blocks = stats.blocks;
     ps.xor_pairs_extracted = stats.pairs_extracted;
     ps.status = stats.status;

@@ -34,10 +34,12 @@
 #include "npn/npn.h"
 #include "par/scratch.h"
 #include "par/thread_pool.h"
+#include "sat/equivalence.h"
 #include "spectral/classification.h"
 #include "xag/cone_batch.h"
 #include "xag/xag.h"
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -73,6 +75,20 @@ struct rewrite_params {
     /// oracle; both modes produce byte-identical networks
     /// (src/cut/cut_incremental.h).
     bool incremental_cuts = true;
+    /// Re-score only nodes whose cut spans or cone context (MFFC, leaf
+    /// liveness) changed since the previous round; clean nodes reuse the
+    /// persistent per-node evaluation cache in the pass_context.  Requires
+    /// incremental_cuts (the dirty set is derived from the same journal);
+    /// with it off, every round evaluates every node — the full-evaluate
+    /// oracle, byte-identical to the incremental path at any thread count
+    /// (docs/hot-path.md, "The evaluate dirty-set contract").
+    bool incremental_evaluate = true;
+    /// Commit-time SAT verification: check each replacement cone against
+    /// its pre-image miter under assumptions on the context's persistent
+    /// cone_verifier before substituting.  Off by default — simulation
+    /// verification is already exact for cut-bounded cones — but the
+    /// counters it fills (round_stats::sat_*) feed the mcx report.
+    bool sat_verify_commits = false;
     mc_database_params db;
 };
 
@@ -80,9 +96,11 @@ struct size_rewrite_params {
     uint32_t cut_size = 4; ///< NPN-4 database
     uint32_t cut_limit = 12;
     bool allow_zero_gain = false;
-    bool batched_simulation = true; ///< see rewrite_params
-    uint32_t num_threads = 0;       ///< see rewrite_params
-    bool incremental_cuts = true;   ///< see rewrite_params
+    bool batched_simulation = true;  ///< see rewrite_params
+    uint32_t num_threads = 0;        ///< see rewrite_params
+    bool incremental_cuts = true;    ///< see rewrite_params
+    bool incremental_evaluate = true; ///< see rewrite_params
+    bool sat_verify_commits = false; ///< see rewrite_params
     size_database_params db;
 };
 
@@ -110,6 +128,16 @@ struct round_stats {
     /// Database traffic this round (lookup served vs. circuit synthesized).
     uint64_t db_hits = 0;
     uint64_t db_misses = 0;
+    /// Incremental-evaluate traffic: nodes re-scored this round vs. nodes
+    /// served from the persistent evaluation cache.  With the feature off
+    /// every visited gate counts as evaluated; a quiescent incremental
+    /// round reports nodes_evaluated == 0.
+    uint64_t nodes_evaluated = 0;
+    uint64_t nodes_clean = 0;
+    /// Commit-time SAT verification traffic (sat_verify_commits only).
+    uint64_t sat_verifications = 0;
+    uint64_t sat_conflicts = 0;
+    uint64_t sat_warm_starts = 0;
     /// Why the round ended: ok, or the limit/fault that stopped it early.
     /// Non-ok rounds leave the network consistent and function-equivalent —
     /// only the not-yet-visited nodes keep their old structure.
@@ -169,6 +197,57 @@ struct pass_stats {
 
 // ---------------------------------------------------------------- context
 
+/// Best replacement found for one node by the two-phase evaluate phase.
+/// Engine-internal except for its role as the evaluate cache's payload: a
+/// pure function of (network, cut sets, node), which is what makes caching
+/// it across rounds sound (docs/hot-path.md).
+struct eval_winner {
+    uint32_t node = 0;
+    truth_table function;                 ///< support-shrunk cut function
+    std::array<uint32_t, 6> cut_leaves{}; ///< resolved full leaf set
+    std::array<uint8_t, 6> support{};     ///< indices into cut_leaves
+    uint8_t num_cut_leaves = 0;
+    uint8_t num_support = 0;
+    /// Worker that scored this node — its cache shard already holds the
+    /// function's classification, so the commit phase classifies through
+    /// the same shard (a warm hit) instead of re-running the search cold.
+    uint32_t worker = 0;
+    bool valid = false;
+};
+
+/// Persistent per-node evaluation results, reused across rounds for nodes
+/// the cut_maintainer's dirty set clears (rewrite_params::
+/// incremental_evaluate).  Coherence handshake: the cache is only
+/// consulted when it was populated at the maintainer's previous refresh
+/// serial, that refresh chain is unbroken (last refresh incremental), and
+/// every parameter that shapes an evaluation matches.  Any mismatch
+/// resets the cache — correctness never depends on it.
+struct evaluate_cache {
+    const xag* net = nullptr;
+    uint64_t serial = 0; ///< cut_maintainer::refresh_serial() at population
+    uint32_t cut_size = 0;
+    uint32_t cut_limit = 0;
+    bool allow_zero_gain = false;
+    bool batched = false;
+    uint8_t strategy = 0; ///< 0 = mc, 1 = size
+    uint8_t engine = 0;   ///< 0 = sequential in-place, 1 = two-phase
+    /// Two-phase engine: cached winner per node id.
+    std::vector<eval_winner> winners;
+    std::vector<uint8_t> has_entry;
+    /// Sequential engine: "visited, found no improvement" per node id
+    /// (improvements commit immediately and kill the node, so this single
+    /// bit is the whole cacheable outcome).
+    std::vector<uint8_t> no_improvement;
+
+    void reset()
+    {
+        net = nullptr;
+        winners.clear();
+        has_entry.clear();
+        no_improvement.clear();
+    }
+};
+
 struct pass_context_params {
     mc_database_params mc_db;
     size_database_params size_db;
@@ -199,6 +278,15 @@ public:
     /// ran untracked, params changed).
     cut_maintainer& cut_maintenance() { return cut_maint_; }
     cone_simulator& simulator() { return simulator_; }
+
+    /// Persistent evaluation cache for the incremental-evaluate path; the
+    /// round engine owns its coherence protocol (see evaluate_cache).
+    evaluate_cache& eval_cache() { return eval_cache_; }
+
+    /// Persistent warm SAT solver for commit-time cone verification
+    /// (rewrite_params::sat_verify_commits); one instance serves every
+    /// round and pass so learnt clauses accumulate across commits.
+    sat::cone_verifier& commit_verifier() { return commit_verifier_; }
 
     /// Worker team for the two-phase engine: exactly `num_threads`
     /// workers (>= 1), rebuilt only when the requested count changes.
@@ -242,6 +330,8 @@ private:
     cut_sets cuts_;
     cut_maintainer cut_maint_;
     cone_simulator simulator_;
+    evaluate_cache eval_cache_;
+    sat::cone_verifier commit_verifier_;
     std::unique_ptr<thread_pool> pool_;
     std::vector<std::unique_ptr<pass_scratch>> scratch_;
 };
@@ -291,11 +381,22 @@ private:
     uint32_t max_rounds_;
 };
 
-/// Paar-style resynthesis of maximal linear (XOR-only) blocks.
+/// Paar-style resynthesis of maximal linear (XOR-only) blocks.  With
+/// `num_threads >= 1` the quadratic pair-count seeding runs on the
+/// context's worker pool and the admission budget scales with the team
+/// (xor_resynthesis_params::pairing_work_budget).
 class xor_resynthesis_pass final : public pass {
 public:
+    xor_resynthesis_pass() = default;
+    explicit xor_resynthesis_pass(uint32_t num_threads)
+        : num_threads_{num_threads}
+    {
+    }
     std::string_view name() const override { return "xor-resynthesis"; }
     pass_stats run(xag& network, pass_context& ctx) const override;
+
+private:
+    uint32_t num_threads_ = 0;
 };
 
 /// Rebuild a compacted, freshly strashed copy of the network.

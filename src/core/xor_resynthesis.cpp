@@ -1,6 +1,7 @@
 #include "core/xor_resynthesis.h"
 
 #include "core/mffc.h"
+#include "par/thread_pool.h"
 
 #include <algorithm>
 #include <bit>
@@ -240,6 +241,18 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
                                          ? SIZE_MAX
                                          : params.max_pairing_width;
 
+    // The per-worker budget scales with the team: seeding is the quadratic
+    // part and it parallelizes row-by-row, so a W-worker pool admits up to
+    // W× the sequential work instead of finishing early and idling.
+    const uint32_t seed_workers =
+        params.pool != nullptr ? params.pool->num_workers() : 1;
+    const uint64_t effective_budget =
+        params.pairing_work_budget == 0
+            ? 0
+            : params.pairing_work_budget * seed_workers;
+    stats.seed_workers = seed_workers;
+    stats.effective_pairing_budget = effective_budget;
+
     const std::vector<uint8_t> narrow = [&] {
         std::vector<uint8_t> flags(rows.size(), 0);
         std::vector<uint32_t> by_width(rows.size());
@@ -259,8 +272,7 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
             const auto w = static_cast<uint64_t>(rows[r].terms.size());
             if (w > max_pairing_width)
                 break; // sorted: every later row is at least as wide
-            if (params.pairing_work_budget != 0 &&
-                work + w * w > params.pairing_work_budget)
+            if (effective_budget != 0 && work + w * w > effective_budget)
                 break;
             work += w * w;
             flags[r] = 1;
@@ -323,15 +335,50 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
             heap.push({count, key});
     };
 
+    // Linear setup (bitsets, term->row index) stays sequential; only the
+    // quadratic pair counting fans out.
+    std::vector<uint32_t> narrow_rows;
+    narrow_rows.reserve(stats.rows_paired);
     for (uint32_t r = 0; r < rows.size(); ++r) {
         if (!narrow[r])
             continue;
+        narrow_rows.push_back(r);
         const auto& t = rows[r].terms;
         for (size_t i = 0; i < t.size(); ++i) {
             bits.insert(slot[r], dense_of[t[i]]);
             rows_of_term[dense_of[t[i]]].push_back(r);
-            for (size_t j = i + 1; j < t.size(); ++j)
-                bump(dense_of[t[i]], dense_of[t[j]], 1);
+        }
+    }
+    if (params.pool != nullptr && narrow_rows.size() > 1) {
+        // Per-worker count maps over a work-stealing partition of the
+        // rows, merged into the shared map afterwards.  Per-pair sums are
+        // schedule-independent, and the heap is seeded once per pair at
+        // its final count — the heap's valid-tuple set (count, key) is
+        // exactly the sequential path's, so extraction pops the same pairs
+        // in the same order (stale lower-count entries, which only the
+        // sequential path carries, are discarded by the staleness check).
+        std::vector<std::unordered_map<term_pair, uint32_t, pair_hash>>
+            local(seed_workers);
+        params.pool->parallel_for(
+            0, narrow_rows.size(), [&](size_t i, uint32_t worker) {
+                const auto& t = rows[narrow_rows[i]].terms;
+                auto& counts = local[worker];
+                for (size_t a = 0; a < t.size(); ++a)
+                    for (size_t b = a + 1; b < t.size(); ++b)
+                        ++counts[ordered(dense_of[t[a]], dense_of[t[b]])];
+            });
+        for (const auto& counts : local)
+            for (const auto& [key, c] : counts)
+                pair_count[key] += c;
+        for (const auto& [key, c] : pair_count)
+            if (c >= 2)
+                heap.push({c, key});
+    } else {
+        for (const auto r : narrow_rows) {
+            const auto& t = rows[r].terms;
+            for (size_t i = 0; i < t.size(); ++i)
+                for (size_t j = i + 1; j < t.size(); ++j)
+                    bump(dense_of[t[i]], dense_of[t[j]], 1);
         }
     }
 

@@ -18,6 +18,8 @@
 
 namespace mcx {
 
+class thread_pool;
+
 struct xor_resynthesis_params {
     /// Hard width cap: rows wider than this never take part in pair
     /// extraction (0, the default, disables the cap — the pre-PR-4
@@ -32,7 +34,19 @@ struct xor_resynthesis_params {
     /// degrade gracefully: their widest rows keep their trees exactly as
     /// the old hard cap left them.  0 = unlimited.  Selection depends
     /// only on the sorted row widths, so it is deterministic.
+    ///
+    /// The budget is per worker: with a pool of W workers the effective
+    /// admission bound is W × this value — the quadratic seeding is the
+    /// part that parallelizes, so idle capacity is spent admitting wider
+    /// rows instead of finishing early.  For a fixed admission set the
+    /// pairing outcome is identical with and without a pool, at any
+    /// worker count (xor_resynthesis_test exercises both).
     uint64_t pairing_work_budget = 2'000'000;
+    /// Worker team for pair-count seeding (the Σwidth² part); nullptr
+    /// runs the classic sequential seeding.  Extraction and the chain
+    /// rebuilds stay sequential — they mutate shared state and their cost
+    /// is linear in the extracted pairs.
+    thread_pool* pool = nullptr;
     /// Cooperative stop.  Checked between pair extractions and between row
     /// rebuilds; stopping skips the remaining work (the rows already
     /// rebuilt keep their gains, the rest keep their old trees) and the
@@ -49,6 +63,8 @@ struct xor_resynthesis_stats {
     uint32_t widest_row = 0;      ///< terms in the widest linear row seen
     uint32_t rows_paired = 0;     ///< rows admitted to pair extraction
     uint32_t widest_row_paired = 0; ///< widest row admitted
+    uint32_t seed_workers = 1;    ///< workers the pair seeding ran on
+    uint64_t effective_pairing_budget = 0; ///< per-worker budget × workers
     outcome status = outcome::ok; ///< non-ok when a token stopped the pass
 };
 

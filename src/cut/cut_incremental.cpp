@@ -28,6 +28,8 @@ void cut_maintainer::invalidate()
     net_ = nullptr;
     sets_ = nullptr;
     armed_version_ = 0;
+    last_incremental_ = false;
+    eval_dirty_.clear();
 }
 
 bool cut_maintainer::can_update(const xag& net, const cut_sets& sets,
@@ -70,6 +72,7 @@ bool cut_maintainer::refresh(xag& net, cut_sets& sets,
         net.disarm_change_log();
         invalidate();
         enumerate_cuts(net, sets, params, stats);
+        ++refresh_serial_;
         return false;
     }
 
@@ -90,6 +93,9 @@ bool cut_maintainer::refresh(xag& net, cut_sets& sets,
     params_ = params;
     net.arm_change_log();
     armed_version_ = net.structural_version();
+    armed_size_ = static_cast<uint32_t>(net.size());
+    last_incremental_ = incremental;
+    ++refresh_serial_;
     return incremental;
 }
 
@@ -213,6 +219,39 @@ void cut_maintainer::sweep(const xag& net, cut_sets& sets,
                 // generation tag, and stop propagating through n.
             }
         });
+
+    // ---- evaluate dirty set (header contract): seeds from the consumed
+    // journal plus every node whose cut span was refreshed, closed over
+    // transitive fanout in level order.  Computed here because the sweep
+    // already owns the level ordering and the set_changed_ map; the
+    // rewrite engines read it through evaluate_dirty().
+    eval_dirty_.assign(num_nodes, full ? uint8_t{1} : uint8_t{0});
+    if (!full) {
+        for (const auto id : net.changes().nodes) {
+            if (!net.is_dead(id)) {
+                eval_dirty_[id] = 1;
+                if (net.is_gate(id)) {
+                    eval_dirty_[net.fanin0(id).node()] = 1;
+                    eval_dirty_[net.fanin1(id).node()] = 1;
+                }
+            } else if (id < armed_size_ && net.is_gate(id)) {
+                // A pre-existing gate died: its fanins lost references
+                // (fanin fields survive take_out, so they are readable).
+                eval_dirty_[net.fanin0(id).node()] = 1;
+                eval_dirty_[net.fanin1(id).node()] = 1;
+            }
+            // else: created and destroyed inside the window (a rejected
+            // candidate cone) — net-zero on every neighbour, no seed.
+        }
+        for (uint32_t n = 0; n < num_nodes; ++n)
+            if (set_changed_[n])
+                eval_dirty_[n] = 1;
+        // items_ is level-ordered, so both fanins are final when n runs.
+        for (const auto n : items_)
+            if (!eval_dirty_[n] && (eval_dirty_[net.fanin0(n).node()] ||
+                                    eval_dirty_[net.fanin1(n).node()]))
+                eval_dirty_[n] = 1;
+    }
 
     // ---- pass 3: dead and unreachable nodes present empty sets, exactly
     // as a full rebuild would.

@@ -44,6 +44,7 @@
 #include "xag/xag.h"
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace mcx {
@@ -72,6 +73,39 @@ public:
     /// Forget the tracked network: the next refresh is a full rebuild.
     void invalidate();
 
+    // ---- evaluate dirty set (consumed by the rewrite engines) ----------
+    //
+    // A cached evaluation of node n stays valid iff (1) n's cut set is
+    // byte-identical to the previous refresh and (2) nothing in n's cone
+    // changed structure or reference count.  Ref counts change only at
+    // journaled nodes and at fanins of journaled nodes, and any such node
+    // in n's cone puts n in its transitive fanout — so the refresh derives
+    //
+    //   dirty(n) = seed(n) | dirty(fanin0) | dirty(fanin1)
+    //
+    // in one linear pass over the level-ordered live gates, with seeds =
+    // cut-refreshed nodes plus the journal closure: every live journaled
+    // node and its current fanins, plus the stored fanins of journaled
+    // nodes that died (their refs dropped).  Journaled nodes that were
+    // BOTH created and destroyed inside the window — candidate cones
+    // spliced and rejected by a commit phase — are net-zero on every
+    // neighbour and seed nothing; skipping them is what lets a quiescent
+    // round converge to an empty dirty set.
+
+    /// Per-node evaluate-dirty bitmap from the most recent refresh.
+    /// Meaningful only when `last_refresh_incremental()`; a full rebuild
+    /// dirties everything and callers must not consult the map.
+    std::span<const uint8_t> evaluate_dirty() const { return eval_dirty_; }
+
+    /// True when the most recent refresh reused the journal (incremental).
+    bool last_refresh_incremental() const { return last_incremental_; }
+
+    /// Monotonic count of completed refreshes.  An evaluate cache
+    /// populated at serial S is coherent with the refresh at serial S+1
+    /// iff that refresh was incremental — the journal then provably
+    /// covers everything that happened in between.
+    uint64_t refresh_serial() const { return refresh_serial_; }
+
 private:
     bool can_update(const xag& net, const cut_sets& sets,
                     const cut_enumeration_params& params) const;
@@ -87,7 +121,10 @@ private:
     const cut_sets* sets_ = nullptr;
     uint64_t armed_version_ = 0;
     uint64_t arena_generation_ = 0; ///< detects foreign writes to the arena
+    uint32_t armed_size_ = 0; ///< net.size() when the journal was armed
     cut_enumeration_params params_{};
+    bool last_incremental_ = false;
+    uint64_t refresh_serial_ = 0;
 
     // Sweep state, persistent so steady-state rounds allocate nothing.
     std::vector<uint8_t> changed_;     ///< journal membership per node
@@ -99,6 +136,7 @@ private:
     std::vector<uint32_t> level_offsets_; ///< items_ partition per level
     std::vector<uint32_t> level_cursor_;  ///< counting-sort scratch
     std::vector<uint32_t> recompute_;     ///< current level's work list
+    std::vector<uint8_t> eval_dirty_;     ///< evaluate dirty set (see above)
     std::vector<std::vector<cut>> results_; ///< per-item staging buffers
     std::vector<cut_enumeration_workspace> workspaces_; ///< per worker
 };

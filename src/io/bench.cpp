@@ -14,7 +14,22 @@ namespace mcx {
 
 void write_bench(const xag& network, std::ostream& os)
 {
-    const auto name_of = [&](uint32_t n) { return "n" + std::to_string(n); };
+    // Names are assigned densely in emission order — PIs first, then gates
+    // in topological order — not from raw node ids.  Structurally identical
+    // networks therefore serialize byte-identically even when their internal
+    // id spaces diverged (ids are append-only and candidate splicing
+    // consumes them, so e.g. the incremental-evaluate path and the
+    // full-evaluate oracle reach the same structure through different ids).
+    std::vector<uint32_t> dense(network.size(), 0);
+    uint32_t next = 0;
+    for (uint32_t i = 0; i < network.num_pis(); ++i)
+        dense[network.pi_at(i)] = ++next;
+    for (const auto n : network.topological_order())
+        if (network.is_gate(n))
+            dense[n] = ++next;
+    const auto name_of = [&](uint32_t n) {
+        return "n" + std::to_string(dense[n]);
+    };
     const auto ref = [&](signal s) {
         if (s.node() == 0)
             return std::string{s.complemented() ? "vdd" : "gnd"};

@@ -1,21 +1,38 @@
 #include "sat/cnf.h"
 
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace mcx::sat {
 
-cnf_encoding encode(solver& s, const xag& network,
-                    const std::vector<literal>& shared_pis)
+namespace {
+
+// Shared Tseitin walk; `guard`, when present, is appended (negated) to
+// every emitted clause so the encoding becomes an activation session.
+cnf_encoding encode_impl(solver& s, const xag& network,
+                         const std::vector<literal>& shared_pis,
+                         std::optional<literal> guard)
 {
     if (!shared_pis.empty() && shared_pis.size() != network.num_pis())
         throw std::invalid_argument{"encode: wrong number of shared PIs"};
+
+    const auto emit = [&](std::initializer_list<literal> lits) {
+        if (!guard) {
+            s.add_clause(lits);
+            return;
+        }
+        std::vector<literal> guarded{lits.begin(), lits.end()};
+        guarded.push_back(~*guard);
+        s.add_clause(guarded);
+    };
 
     cnf_encoding enc;
     enc.node_literals.assign(network.size(), literal{});
 
     // Constant-false node: a fixed variable forced to 0.
     const literal const_lit{s.add_variable(), false};
-    s.add_clause({~const_lit});
+    emit({~const_lit});
     enc.node_literals[0] = const_lit;
 
     enc.pi_literals.reserve(network.num_pis());
@@ -38,14 +55,14 @@ cnf_encoding encode(solver& s, const xag& network,
         const auto b = lit_of(network.fanin1(n));
         const literal y{s.add_variable(), false};
         if (network.is_and(n)) {
-            s.add_clause({~y, a});
-            s.add_clause({~y, b});
-            s.add_clause({y, ~a, ~b});
+            emit({~y, a});
+            emit({~y, b});
+            emit({y, ~a, ~b});
         } else {
-            s.add_clause({~y, a, b});
-            s.add_clause({~y, ~a, ~b});
-            s.add_clause({y, ~a, b});
-            s.add_clause({y, a, ~b});
+            emit({~y, a, b});
+            emit({~y, ~a, ~b});
+            emit({y, ~a, b});
+            emit({y, a, ~b});
         }
         enc.node_literals[n] = y;
     }
@@ -54,6 +71,97 @@ cnf_encoding encode(solver& s, const xag& network,
     for (uint32_t i = 0; i < network.num_pos(); ++i)
         enc.po_literals.push_back(lit_of(network.po_at(i)));
     return enc;
+}
+
+} // namespace
+
+cnf_encoding encode(solver& s, const xag& network,
+                    const std::vector<literal>& shared_pis)
+{
+    return encode_impl(s, network, shared_pis, std::nullopt);
+}
+
+cnf_encoding encode_guarded(solver& s, const xag& network, literal activation,
+                            const std::vector<literal>& shared_pis)
+{
+    return encode_impl(s, network, shared_pis, activation);
+}
+
+std::vector<literal> encode_cones(solver& s, const xag& network,
+                                  std::span<const uint32_t> leaves,
+                                  std::span<const signal> roots,
+                                  literal activation)
+{
+    const auto emit = [&](std::initializer_list<literal> lits) {
+        std::vector<literal> guarded{lits.begin(), lits.end()};
+        guarded.push_back(~activation);
+        s.add_clause(guarded);
+    };
+
+    std::unordered_map<uint32_t, literal> lit_of_node;
+    lit_of_node.reserve(4 * leaves.size() + 8);
+    // Leaves become free variables shared by every root's cone.
+    for (const auto l : leaves)
+        lit_of_node.emplace(l, literal{s.add_variable(), false});
+
+    // Iterative post-order walk; cones are small (cut-bounded) but the
+    // candidate side may chain through freshly created gates.
+    std::vector<std::pair<uint32_t, bool>> stack;
+    const auto visit = [&](uint32_t root) {
+        if (lit_of_node.count(root))
+            return;
+        stack.emplace_back(root, false);
+        while (!stack.empty()) {
+            auto [n, expanded] = stack.back();
+            stack.pop_back();
+            if (lit_of_node.count(n))
+                continue;
+            if (!network.is_gate(n)) {
+                // Constant or a PI below the cone: the constant gets a
+                // guarded forced-zero variable, a PI a free variable.
+                const literal v{s.add_variable(), false};
+                if (n == 0)
+                    emit({~v});
+                lit_of_node.emplace(n, v);
+                continue;
+            }
+            const auto f0 = network.fanin0(n);
+            const auto f1 = network.fanin1(n);
+            if (!expanded) {
+                stack.emplace_back(n, true);
+                if (!lit_of_node.count(f1.node()))
+                    stack.emplace_back(f1.node(), false);
+                if (!lit_of_node.count(f0.node()))
+                    stack.emplace_back(f0.node(), false);
+                continue;
+            }
+            const auto base_a = lit_of_node.at(f0.node());
+            const auto base_b = lit_of_node.at(f1.node());
+            const auto a = f0.complemented() ? ~base_a : base_a;
+            const auto b = f1.complemented() ? ~base_b : base_b;
+            const literal y{s.add_variable(), false};
+            if (network.is_and(n)) {
+                emit({~y, a});
+                emit({~y, b});
+                emit({y, ~a, ~b});
+            } else {
+                emit({~y, a, b});
+                emit({~y, ~a, ~b});
+                emit({y, ~a, b});
+                emit({y, a, ~b});
+            }
+            lit_of_node.emplace(n, y);
+        }
+    };
+
+    std::vector<literal> root_lits;
+    root_lits.reserve(roots.size());
+    for (const auto r : roots) {
+        visit(r.node());
+        const auto base = lit_of_node.at(r.node());
+        root_lits.push_back(r.complemented() ? ~base : base);
+    }
+    return root_lits;
 }
 
 } // namespace mcx::sat

@@ -1,10 +1,27 @@
-// Formal combinational equivalence checking via a SAT miter.
+// Formal combinational equivalence checking via SAT miters.
+//
+// Three entry points, coldest to warmest:
+//   - check_equivalence(): fresh solver, whole-network pairwise-XOR miter,
+//     single solve.  The oracle everything else is measured against.
+//   - incremental_cec: one persistent solver holds the golden network's
+//     CNF; each check() encodes the candidate as a retirable activation
+//     session and decides the outputs one by one under assumptions, so
+//     learnt clauses accumulate across outputs AND across checks.  A
+//     variable remapper rebuilds the solver when retired-session garbage
+//     dominates, migrating learnt clauses over golden variables.
+//   - cone_verifier: commit-time replacement checking — only the replaced
+//     cone is mitered against its pre-image over shared leaf variables,
+//     on a persistent solver warmed by previous commits.
 #pragma once
 
+#include "core/budget.h"
+#include "sat/cnf.h"
 #include "sat/solver.h"
 #include "xag/xag.h"
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace mcx::sat {
@@ -22,9 +39,121 @@ struct equivalence_report {
     solver_stats stats;
 };
 
+/// One solve in an incremental verification sequence (schema mirrored in
+/// the mcx --report `verification.checks` array, docs/artifacts.md).
+struct verification_record {
+    uint32_t index = 0;          ///< output index / commit sequence number
+    uint64_t sat_conflicts = 0;  ///< conflicts spent on this solve alone
+    bool warm_start = false;     ///< solver carried state from earlier solves
+};
+
 /// Build the pairwise-XOR miter of two networks over shared inputs and
 /// decide it.  `conflict_budget` = 0 runs to completion.
 equivalence_report check_equivalence(const xag& a, const xag& b,
                                      uint64_t conflict_budget = 0);
+
+/// Warm whole-network CEC against a fixed golden reference.  The golden
+/// network is encoded once; every `check()` call verifies one candidate
+/// network output-by-output under assumptions on the same solver.  The
+/// caller keeps `golden` alive for the verifier's lifetime.
+class incremental_cec {
+public:
+    /// `rebuild_growth`: rebuild (GC) once the solver's variable count
+    /// exceeds this multiple of the golden encoding.  Each retired check
+    /// leaves roughly one candidate encoding of garbage behind, so the
+    /// factor is the number of distinct candidates between golden
+    /// re-encodes (measured best at the default on the adder64 iterated
+    /// flow: lean watch lists beat fewer rebuilds).
+    explicit incremental_cec(const xag& golden, uint32_t rebuild_growth = 4);
+
+    /// Verify `optimized` against the golden reference.  The conflict
+    /// budget is a total across all per-output solves (0 = unbounded).
+    equivalence_report check(const xag& optimized,
+                             uint64_t conflict_budget = 0,
+                             const cancellation_token& token = {});
+
+    /// Per-output solve records for every check() so far.
+    const std::vector<verification_record>& records() const
+    {
+        return records_;
+    }
+    uint64_t rebuilds() const { return rebuilds_; }
+    /// Checks that re-solved on a live session instead of re-encoding
+    /// (candidate structurally identical to the previous one — the
+    /// steady state of an iterated flow).
+    uint64_t session_reuses() const { return session_reuses_; }
+    uint32_t num_vars() const { return solver_->num_vars(); }
+
+private:
+    void rebuild();
+    void retire(literal activation);
+
+    /// The most recent candidate's encoding stays live (not retired)
+    /// so a structurally identical next candidate — every re-check in a
+    /// converged iterated flow — re-runs its per-output solves on the
+    /// same variables, where that session's learnt clauses still apply.
+    struct live_session {
+        bool valid = false;
+        literal act{};
+        std::vector<literal> outputs; ///< candidate PO literals
+        std::vector<literal> diffs;   ///< per-output miter literals
+        std::vector<uint64_t> shape;  ///< exact structural signature
+    };
+
+    const xag* golden_;
+    uint32_t rebuild_growth_;
+    std::unique_ptr<solver> solver_;
+    std::vector<literal> pis_;
+    cnf_encoding golden_enc_;
+    uint32_t base_vars_ = 0; ///< variables belonging to the golden encoding
+    bool warm_ = false;
+    uint64_t rebuilds_ = 0;
+    uint64_t session_reuses_ = 0;
+    live_session session_;
+    std::vector<verification_record> records_;
+};
+
+/// Commit-time cone verification: is `replacement` equivalent to the cone
+/// rooted at `old_root` over the shared `leaves`?  Both cones live in the
+/// same network (the candidate is built before the substitution commits).
+/// One persistent solver serves all commits; each check is a retirable
+/// activation session and the solver is rebuilt once dead session
+/// variables dominate.
+class cone_verifier {
+public:
+    /// `rebuild_after_vars`: variable count that triggers a fresh solver.
+    explicit cone_verifier(uint32_t rebuild_after_vars = 1u << 16)
+        : rebuild_after_vars_{rebuild_after_vars}
+    {
+    }
+
+    equivalence_result verify(const xag& network, uint32_t old_root,
+                              signal replacement,
+                              std::span<const uint32_t> leaves,
+                              uint64_t conflict_budget = 0,
+                              const cancellation_token& token = {});
+
+    const std::vector<verification_record>& records() const
+    {
+        return records_;
+    }
+    uint64_t rebuilds() const { return rebuilds_; }
+    uint32_t num_vars() const { return solver_ ? solver_->num_vars() : 0; }
+
+    /// Aggregate counters (cheap to poll per round).
+    uint64_t checks() const { return checks_; }
+    uint64_t conflicts() const { return conflicts_; }
+    uint64_t warm_starts() const { return warm_starts_; }
+
+private:
+    uint32_t rebuild_after_vars_;
+    std::unique_ptr<solver> solver_;
+    bool warm_ = false;
+    uint64_t checks_ = 0;
+    uint64_t conflicts_ = 0;
+    uint64_t warm_starts_ = 0;
+    uint64_t rebuilds_ = 0;
+    std::vector<verification_record> records_;
+};
 
 } // namespace mcx::sat

@@ -215,6 +215,48 @@ void solver::analyze(uint32_t conflict, std::vector<literal>& learnt,
     backtrack_level = level_[learnt[1].var()];
 }
 
+void solver::analyze_final(literal p)
+{
+    // MiniSat's analyzeFinal: which assumptions does the falsification of
+    // `p` depend on?  Walk the trail top-down from the first assumption
+    // level, expanding reason clauses; literals with no reason above level
+    // 0 are assumption decisions.  Invoked from the assumption-
+    // establishment step, so no real decisions are on the trail yet.
+    failed_assumptions_.clear();
+    failed_assumptions_.push_back(p);
+    if (decision_level() == 0)
+        return;
+    seen_[p.var()] = 1;
+    for (size_t i = trail_.size(); i-- > trail_lim_[0];) {
+        const auto v = trail_[i].var();
+        if (!seen_[v])
+            continue;
+        if (reason_[v] == no_reason) {
+            failed_assumptions_.push_back(trail_[i]);
+        } else {
+            const auto& c = clauses_[reason_[v]];
+            for (size_t k = 1; k < c.lits.size(); ++k)
+                if (level_[c.lits[k].var()] > 0)
+                    seen_[c.lits[k].var()] = 1;
+        }
+        seen_[v] = 0;
+    }
+    seen_[p.var()] = 0;
+}
+
+std::vector<std::vector<literal>> solver::export_learnt(size_t max_len) const
+{
+    std::vector<std::vector<literal>> out;
+    for (const auto idx : learnt_indices_) {
+        const auto& c = clauses_[idx];
+        // reduce_learnts() clears dead clauses in place; skip them.
+        if (c.lits.empty() || c.lits.size() > max_len)
+            continue;
+        out.emplace_back(c.lits.begin(), c.lits.end());
+    }
+    return out;
+}
+
 void solver::backtrack(uint32_t target)
 {
     if (decision_level() <= target)
@@ -378,7 +420,8 @@ uint64_t solver::luby(uint64_t i)
     return uint64_t{1} << seq;
 }
 
-solve_result solver::solve(uint64_t conflict_budget,
+solve_result solver::solve(std::span<const literal> assumptions,
+                           uint64_t conflict_budget,
                            const cancellation_token& token)
 {
     // Injected budget exhaustion: converted to `undecided` right here, the
@@ -390,6 +433,8 @@ solve_result solver::solve(uint64_t conflict_budget,
         return solve_result::undecided;
     }
 
+    failed_assumptions_.clear();
+    backtrack(0);
     if (unsat_)
         return solve_result::unsatisfiable;
     if (propagate() != no_reason) {
@@ -399,6 +444,8 @@ solve_result solver::solve(uint64_t conflict_budget,
     if (token.stop_possible() && token.stop_requested())
         return solve_result::undecided;
 
+    const uint64_t conflict_limit =
+        conflict_budget == 0 ? 0 : stats_.conflicts + conflict_budget;
     uint64_t restart_count = 0;
     uint64_t conflicts_until_restart = 100 * luby(restart_count);
     uint64_t conflicts_in_restart = 0;
@@ -431,7 +478,7 @@ solve_result solver::solve(uint64_t conflict_budget,
             }
             decay_var_activity();
             clause_inc_ /= 0.999;
-            if (conflict_budget != 0 && stats_.conflicts >= conflict_budget) {
+            if (conflict_limit != 0 && stats_.conflicts >= conflict_limit) {
                 backtrack(0);
                 return solve_result::undecided;
             }
@@ -455,9 +502,38 @@ solve_result solver::solve(uint64_t conflict_budget,
             max_learnts = max_learnts * 3 / 2;
         }
 
+        // Re-establish assumptions as pseudo-decision levels before any
+        // real decision.  A restart backtracks to level 0, so this loop
+        // also restores them after every restart.
+        if (decision_level() < assumptions.size()) {
+            const auto p = assumptions[decision_level()];
+            const auto val = value_of(p);
+            if (val == 0) {
+                // Falsified by earlier assumptions / top-level units:
+                // UNSAT under these assumptions only — sticky unsat_ is
+                // NOT set, and the final-conflict subset is extracted.
+                analyze_final(p);
+                backtrack(0);
+                return solve_result::unsatisfiable;
+            }
+            // Already-true assumptions still get their own (empty)
+            // decision level so analyze_final can tell assumption levels
+            // from top-level units.
+            trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
+            if (val == -1)
+                enqueue(p, no_reason);
+            continue;
+        }
+
         const auto next = pick_branch();
-        if (next.var() == (heap_npos >> 1))
+        if (next.var() == (heap_npos >> 1)) {
+            // Snapshot the model, then release the trail: the solver is
+            // always left at decision level 0 so callers can add clauses
+            // and re-solve (incremental use).
+            model_.assign(assign_.begin(), assign_.end());
+            backtrack(0);
             return solve_result::satisfiable;
+        }
         ++stats_.decisions;
         trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
         enqueue(next, no_reason);

@@ -70,10 +70,41 @@ public:
     /// next conflict with `undecided` — the same honest "don't know" that
     /// budget exhaustion yields, never a fabricated UNSAT.
     solve_result solve(uint64_t conflict_budget = 0,
+                       const cancellation_token& token = {})
+    {
+        return solve({}, conflict_budget, token);
+    }
+
+    /// Solve under `assumptions`: each literal is forced true for this call
+    /// only, via pseudo-decision levels below every real decision.  Learnt
+    /// clauses are retained across calls, so a sequence of related queries
+    /// on one solver gets warmer with each solve.  `unsatisfiable` here
+    /// means "UNSAT under these assumptions" — the solver stays usable and
+    /// `failed_assumptions()` holds the subset of assumptions the final
+    /// conflict depends on.  Only a conflict at decision level 0 (no
+    /// assumptions involved) makes the instance permanently UNSAT.
+    /// The solver always returns at decision level 0, so `add_clause` is
+    /// legal immediately after any solve.
+    solve_result solve(std::span<const literal> assumptions,
+                       uint64_t conflict_budget = 0,
                        const cancellation_token& token = {});
 
-    /// Model value of a variable after a satisfiable solve.
-    bool model_value(uint32_t var) const { return assign_[var] == 1; }
+    /// Model value of a variable after a satisfiable solve.  Reads the
+    /// snapshot taken at SAT time; valid until the next solve call.
+    bool model_value(uint32_t var) const { return model_[var] == 1; }
+
+    /// After `solve(assumptions)` returns `unsatisfiable` with a non-empty
+    /// assumption set: the subset of assumptions sufficient for the
+    /// conflict (MiniSat's analyzeFinal).  Empty when the instance is
+    /// UNSAT independent of the assumptions.
+    const std::vector<literal>& failed_assumptions() const
+    {
+        return failed_assumptions_;
+    }
+
+    /// Live learnt clauses of at most `max_len` literals — migration feed
+    /// for a rebuilt solver (variable GC in src/sat/equivalence.cpp).
+    std::vector<std::vector<literal>> export_learnt(size_t max_len) const;
 
     const solver_stats& stats() const { return stats_; }
 
@@ -104,6 +135,7 @@ private:
     uint32_t propagate(); ///< returns conflicting clause index or no_reason
     void analyze(uint32_t conflict, std::vector<literal>& learnt,
                  uint32_t& backtrack_level);
+    void analyze_final(literal p); ///< fills failed_assumptions_
     void backtrack(uint32_t level);
     void attach_clause(uint32_t index);
     uint32_t decision_level() const
@@ -144,6 +176,8 @@ private:
     solver_stats stats_;
     std::vector<uint8_t> seen_;      ///< scratch for analyze()
     std::vector<literal> to_clear_;  ///< marks to reset after analyze()
+    std::vector<int8_t> model_;      ///< snapshot of assign_ at SAT time
+    std::vector<literal> failed_assumptions_;
 };
 
 } // namespace mcx::sat

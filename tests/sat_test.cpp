@@ -1,3 +1,4 @@
+#include "core/fault_inject.h"
 #include "sat/cnf.h"
 #include "sat/equivalence.h"
 #include "sat/solver.h"
@@ -6,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <vector>
 
 namespace mcx::sat {
 namespace {
@@ -273,6 +276,272 @@ TEST(equivalence_check, multi_output_adders)
     };
     const auto report = check_equivalence(build(false), build(true));
     EXPECT_EQ(report.result, equivalence_result::equivalent);
+}
+
+// ------------------------------------------- solving under assumptions
+
+// Solving under assumptions must agree with a fresh solver that has the
+// same literals as unit clauses — on random CNF, for every seed — and an
+// UNSAT answer must come with a failed-assumption subset that is itself
+// already unsatisfiable as units.
+class assumption_differential : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(assumption_differential, agrees_with_fresh_units)
+{
+    std::mt19937_64 rng{GetParam()};
+    constexpr uint32_t num_vars = 10;
+    const uint32_t num_clauses = 14 + rng() % 30;
+    std::vector<std::vector<literal>> clauses;
+    for (uint32_t c = 0; c < num_clauses; ++c) {
+        std::vector<literal> cl;
+        for (int k = 0; k < 3; ++k)
+            cl.push_back(literal{static_cast<uint32_t>(rng() % num_vars),
+                                 (rng() & 1) != 0});
+        clauses.push_back(cl);
+    }
+    std::vector<literal> assumptions;
+    for (uint32_t v = 0; v < 3; ++v)
+        assumptions.push_back(
+            literal{static_cast<uint32_t>(rng() % num_vars), (rng() & 1) != 0});
+
+    solver incremental;
+    for (uint32_t v = 0; v < num_vars; ++v)
+        (void)incremental.add_variable();
+    for (const auto& cl : clauses)
+        incremental.add_clause(cl);
+
+    const auto fresh_with_units = [&](std::span<const literal> units) {
+        solver s;
+        for (uint32_t v = 0; v < num_vars; ++v)
+            (void)s.add_variable();
+        for (const auto& cl : clauses)
+            s.add_clause(cl);
+        for (const auto u : units)
+            s.add_clause({u});
+        return s.solve();
+    };
+
+    const auto inc = incremental.solve(assumptions);
+    EXPECT_EQ(inc, fresh_with_units(assumptions));
+
+    if (inc == solve_result::unsatisfiable) {
+        const auto& failed = incremental.failed_assumptions();
+        for (const auto f : failed) {
+            EXPECT_TRUE(std::find(assumptions.begin(), assumptions.end(),
+                                  f) != assumptions.end())
+                << "failed assumption not among the assumptions";
+        }
+        EXPECT_EQ(fresh_with_units(failed), solve_result::unsatisfiable)
+            << "failed-assumption subset is not a reason for UNSAT";
+    } else {
+        // The model must satisfy the assumptions as well as the clauses.
+        for (const auto a : assumptions)
+            EXPECT_EQ(incremental.model_value(a.var()), !a.negative());
+    }
+
+    // The solver must be reusable after an assumption solve: the base
+    // CNF alone must still solve to its assumption-free answer.
+    solver base;
+    for (uint32_t v = 0; v < num_vars; ++v)
+        (void)base.add_variable();
+    for (const auto& cl : clauses)
+        base.add_clause(cl);
+    EXPECT_EQ(incremental.solve(), base.solve());
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, assumption_differential,
+                         ::testing::Range<uint64_t>(100, 124));
+
+// ------------------------------------------------- warm incremental CEC
+
+namespace {
+
+xag small_adder(int bits)
+{
+    xag net;
+    std::vector<signal> x, y;
+    for (int i = 0; i < bits; ++i)
+        x.push_back(net.create_pi());
+    for (int i = 0; i < bits; ++i)
+        y.push_back(net.create_pi());
+    auto carry = net.get_constant(false);
+    for (int i = 0; i < bits; ++i) {
+        net.create_po(net.create_xor(net.create_xor(x[i], y[i]), carry));
+        carry = net.create_maj(x[i], y[i], carry);
+    }
+    net.create_po(carry);
+    return net;
+}
+
+/// Same function, different structure: sum bits via double negation of
+/// one xor leg, carries via the naive majority expansion.
+xag small_adder_variant(int bits)
+{
+    xag net;
+    std::vector<signal> x, y;
+    for (int i = 0; i < bits; ++i)
+        x.push_back(net.create_pi());
+    for (int i = 0; i < bits; ++i)
+        y.push_back(net.create_pi());
+    auto carry = net.get_constant(false);
+    for (int i = 0; i < bits; ++i) {
+        net.create_po(!net.create_xor(net.create_xor(x[i], y[i]), !carry));
+        carry = net.create_maj_naive(x[i], y[i], carry);
+    }
+    net.create_po(carry);
+    return net;
+}
+
+} // namespace
+
+TEST(incremental_cec_check, differential_against_cold_oracle)
+{
+    const auto golden = small_adder(6);
+    const auto equivalent = small_adder_variant(6);
+
+    incremental_cec cec{golden};
+    // A sequence of checks — equivalent, equivalent again (session
+    // reuse), then a near-miss — must agree with the cold oracle on
+    // every single one.
+    const xag* candidates[] = {&equivalent, &equivalent, &golden};
+    for (const auto* c : candidates) {
+        const auto warm = cec.check(*c);
+        const auto cold = check_equivalence(*c, golden);
+        EXPECT_EQ(warm.result, cold.result);
+        EXPECT_EQ(warm.result, equivalence_result::equivalent);
+    }
+    EXPECT_GE(cec.session_reuses(), 1u);
+    // One record per output per check.
+    EXPECT_EQ(cec.records().size(),
+              3u * static_cast<size_t>(golden.num_pos()));
+}
+
+TEST(incremental_cec_check, refutes_after_warm_equivalent_checks)
+{
+    const auto golden = small_adder(5);
+    const auto equivalent = small_adder_variant(5);
+
+    // Same interface, last output complemented: not equivalent.
+    xag broken = small_adder_variant(5);
+    {
+        xag net;
+        std::vector<signal> x, y;
+        for (int i = 0; i < 5; ++i)
+            x.push_back(net.create_pi());
+        for (int i = 0; i < 5; ++i)
+            y.push_back(net.create_pi());
+        auto carry = net.get_constant(false);
+        for (int i = 0; i < 5; ++i) {
+            net.create_po(
+                net.create_xor(net.create_xor(x[i], y[i]), carry));
+            carry = net.create_maj(x[i], y[i], carry);
+        }
+        net.create_po(!carry); // the lie
+        broken = std::move(net);
+    }
+
+    incremental_cec cec{golden};
+    EXPECT_EQ(cec.check(equivalent).result, equivalence_result::equivalent);
+    EXPECT_EQ(cec.check(equivalent).result, equivalence_result::equivalent);
+
+    const auto report = cec.check(broken);
+    ASSERT_EQ(report.result, equivalence_result::not_equivalent);
+    ASSERT_TRUE(report.counterexample.has_value());
+    // The counterexample must actually distinguish the networks.
+    EXPECT_NE(simulate_pattern(broken, *report.counterexample),
+              simulate_pattern(golden, *report.counterexample));
+
+    // And the verifier is not poisoned: the good candidate still passes.
+    EXPECT_EQ(cec.check(equivalent).result, equivalence_result::equivalent);
+}
+
+TEST(incremental_cec_check, undecided_under_budget)
+{
+    const auto golden = small_adder(8);
+    const auto candidate = small_adder_variant(8);
+    incremental_cec cec{golden};
+    // A one-conflict total budget cannot finish 9 output proofs.
+    const auto report = cec.check(candidate, 1);
+    EXPECT_EQ(report.result, equivalence_result::undecided);
+    // With the budget lifted the same verifier completes.
+    EXPECT_EQ(cec.check(candidate).result, equivalence_result::equivalent);
+}
+
+TEST(incremental_cec_check, gc_rebuild_preserves_answers)
+{
+    const auto golden = small_adder(4);
+    incremental_cec cec{golden, 2}; // aggressive GC: rebuild every check
+    for (int i = 0; i < 6; ++i) {
+        auto candidate = small_adder_variant(4);
+        EXPECT_EQ(cec.check(candidate).result,
+                  equivalence_result::equivalent)
+            << "check " << i;
+    }
+    EXPECT_GE(cec.rebuilds(), 1u);
+}
+
+// ----------------------------------------------- cone verifier (commit)
+
+TEST(cone_verifier_check, equivalent_and_broken_cones)
+{
+    // net computes po = (a & b) ^ c; replace the AND cone with the
+    // equivalent ~(~ab) form, then with a broken one.
+    xag net;
+    const auto a = net.create_pi();
+    const auto b = net.create_pi();
+    const auto c = net.create_pi();
+    const auto g = net.create_and(a, b);
+    net.create_po(net.create_xor(g, c));
+
+    const std::vector<uint32_t> leaves{a.node(), b.node()};
+    cone_verifier verifier;
+
+    // x & y == x ^ (x & ~y): an equivalent replacement cone.
+    const auto equivalent =
+        net.create_xor(a, net.create_and(a, !b));
+    EXPECT_EQ(verifier.verify(net, g.node(), equivalent, leaves),
+              equivalence_result::equivalent);
+
+    // x | y is not x & y.
+    const auto wrong = !net.create_and(!a, !b);
+    EXPECT_EQ(verifier.verify(net, g.node(), wrong, leaves),
+              equivalence_result::not_equivalent);
+
+    // Warm solver state from the failures must not poison later checks.
+    EXPECT_EQ(verifier.verify(net, g.node(), equivalent, leaves),
+              equivalence_result::equivalent);
+    EXPECT_EQ(verifier.checks(), 3u);
+    EXPECT_GE(verifier.warm_starts(), 2u);
+    EXPECT_EQ(verifier.records().size(), 3u);
+}
+
+TEST(cone_verifier_check, undecided_on_injected_budget_exhaustion)
+{
+    // Deterministically force solve() to report budget exhaustion: the
+    // verifier must surface `undecided`, and the caller contract (commit
+    // layer treats undecided as "simulation remains authoritative") makes
+    // that a safe degradation.
+    xag net;
+    const auto a = net.create_pi();
+    const auto b = net.create_pi();
+    const auto g = net.create_and(a, b);
+    net.create_po(g);
+    const std::vector<uint32_t> leaves{a.node(), b.node()};
+
+    cone_verifier verifier;
+    fault_injection::arm(fault_site::sat_budget, 1);
+    const auto res = verifier.verify(net, g.node(),
+                                     net.create_xor(a, net.create_and(a, !b)),
+                                     leaves);
+    fault_injection::disarm_all();
+    EXPECT_EQ(res, equivalence_result::undecided);
+
+    // The verifier recovers once the budget pressure is gone.
+    EXPECT_EQ(verifier.verify(net, g.node(),
+                              net.create_xor(a, net.create_and(a, !b)),
+                              leaves),
+              equivalence_result::equivalent);
 }
 
 } // namespace

@@ -3,6 +3,8 @@
 #include "gen/arithmetic.h"
 #include "gen/hashes.h"
 #include "gen/lightweight.h"
+#include "io/bench.h"
+#include "par/thread_pool.h"
 #include "xag/cleanup.h"
 #include "xag/simulate.h"
 #include "xag/verify.h"
@@ -11,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
 
 namespace mcx {
 namespace {
@@ -188,6 +191,60 @@ TEST(xor_resynthesis_pass, width_cap_and_budget_still_skip_rows)
     auto net2 = wide_row_network(24, 4);
     const auto stats2 = xor_resynthesis(net2, {.pairing_work_budget = 1});
     EXPECT_EQ(stats2.rows_paired, 0u);
+}
+
+TEST(xor_resynthesis_pass, pool_seeding_is_deterministic)
+{
+    // Pair-count seeding fans out across workers, but with the admission
+    // set pinned (unlimited budget ⇒ every row admitted at any worker
+    // count) the extracted pairs — and therefore the rebuilt network —
+    // must be byte-identical to the sequential pass.  Workloads are kept
+    // small enough that unlimited admission stays cheap: wide rows past
+    // the legacy cap, an adder's xor-heavy carry interface, and simon's
+    // round structure.
+    const auto serialize = [](const xag& n) {
+        std::ostringstream os;
+        write_bench(cleanup(n), os);
+        return os.str();
+    };
+    const auto sources = {wide_row_network(24, 4), wide_row_network(20, 6),
+                          gen_adder(16), gen_simon(16, 4)};
+    for (const auto& source : sources) {
+        auto seq = source;
+        xor_resynthesis(seq, {.pairing_work_budget = 0});
+        const auto oracle = serialize(seq);
+        for (const uint32_t workers : {1u, 4u}) {
+            thread_pool pool{workers};
+            auto par = source;
+            const auto stats = xor_resynthesis(
+                par, {.pairing_work_budget = 0, .pool = &pool});
+            par.check_integrity();
+            EXPECT_EQ(serialize(par), oracle) << workers << " workers";
+            EXPECT_EQ(stats.seed_workers, workers);
+        }
+    }
+}
+
+TEST(xor_resynthesis_pass, pool_scales_the_admission_budget)
+{
+    // The work budget is per worker: a W-worker pool admits rows until
+    // W x budget is spent, so a budget that starves the sequential pass
+    // can still pair rows under a pool — and says so in the stats.
+    const uint64_t budget = 2400; // admits nothing sequentially (24² = 576
+                                  // per row, 4 rows, cumulative cap)
+    auto seq = wide_row_network(24, 4);
+    const auto stats_seq = xor_resynthesis(seq, {.pairing_work_budget = budget});
+    EXPECT_EQ(stats_seq.effective_pairing_budget, budget);
+
+    thread_pool pool{4};
+    auto par = wide_row_network(24, 4);
+    const auto golden = cleanup(par);
+    const auto stats_par = xor_resynthesis(
+        par, {.pairing_work_budget = budget, .pool = &pool});
+    par.check_integrity();
+    EXPECT_EQ(stats_par.effective_pairing_budget, 4 * budget);
+    EXPECT_GE(stats_par.rows_paired, stats_seq.rows_paired);
+    EXPECT_TRUE(exhaustive_equal(cleanup(par), golden));
 }
 
 TEST(xor_resynthesis_pass, keccak_generator_produces_wide_rows)

@@ -174,7 +174,8 @@ std::string json_escape(const std::string& s)
 
 void write_report(const std::string& path, const std::string& input,
                   const flow_result& result, bool verified,
-                  const std::string& verify_method)
+                  const std::string& verify_method,
+                  const std::vector<sat::verification_record>& verify_checks)
 {
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -219,6 +220,9 @@ void write_report(const std::string& path, const std::string& input,
                     "\"cut_seconds\": %.4f, \"rewrite_seconds\": %.4f, "
                     "\"cut_nodes_reenumerated\": %llu, "
                     "\"cut_nodes_clean\": %llu, "
+                    "\"nodes_evaluated\": %llu, \"nodes_clean\": %llu, "
+                    "\"sat_verifications\": %llu, \"sat_conflicts\": %llu, "
+                    "\"sat_warm_starts\": %llu, "
                     "\"canon_cache_hit_rate\": %.4f, \"db_hits\": %llu, "
                     "\"db_misses\": %llu}%s\n",
                     rs.ands_before, rs.ands_after,
@@ -230,6 +234,11 @@ void write_report(const std::string& path, const std::string& input,
                         rs.cut_stats.reenumerated_nodes),
                     static_cast<unsigned long long>(
                         rs.cut_stats.clean_nodes),
+                    static_cast<unsigned long long>(rs.nodes_evaluated),
+                    static_cast<unsigned long long>(rs.nodes_clean),
+                    static_cast<unsigned long long>(rs.sat_verifications),
+                    static_cast<unsigned long long>(rs.sat_conflicts),
+                    static_cast<unsigned long long>(rs.sat_warm_starts),
                     rs.canon_cache_hit_rate(),
                     static_cast<unsigned long long>(rs.db_hits),
                     static_cast<unsigned long long>(rs.db_misses),
@@ -240,8 +249,25 @@ void write_report(const std::string& path, const std::string& input,
         std::fprintf(f, "}%s\n", i + 1 < result.passes.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"verified\": %s,\n  \"verify_method\": \"%s\"\n}\n",
+    std::fprintf(f, "  \"verified\": %s,\n  \"verify_method\": \"%s\"",
                  verified ? "true" : "false", verify_method.c_str());
+    if (!verify_checks.empty()) {
+        // Per-output solves of the warm incremental CEC (--verify sat);
+        // schema in docs/artifacts.md.
+        std::fprintf(f, ",\n  \"verification\": {\"checks\": [\n");
+        for (size_t i = 0; i < verify_checks.size(); ++i) {
+            const auto& c = verify_checks[i];
+            std::fprintf(f,
+                         "    {\"index\": %u, \"sat_conflicts\": %llu, "
+                         "\"warm_start\": %s}%s\n",
+                         c.index,
+                         static_cast<unsigned long long>(c.sat_conflicts),
+                         c.warm_start ? "true" : "false",
+                         i + 1 < verify_checks.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]}");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
 }
 
@@ -278,6 +304,14 @@ void usage(FILE* out)
         "                          incrementally across rounds vs. full\n"
         "                          re-enumeration every round (A/B; output\n"
         "                          is identical)\n"
+        "  --incremental-eval <m>  on (default) | off: re-evaluate only the\n"
+        "                          nodes whose cut/MFFC context changed since\n"
+        "                          the last round vs. full evaluation every\n"
+        "                          round (A/B; output is identical; see\n"
+        "                          docs/hot-path.md)\n"
+        "  --sat-commits <m>       on | off (default): SAT-check every\n"
+        "                          replacement cone at commit time on a warm\n"
+        "                          persistent solver (docs/robustness.md)\n"
         "\n"
         "resource limits (docs/robustness.md):\n"
         "  --deadline <sec>        wall-clock budget for the whole flow; on\n"
@@ -295,7 +329,10 @@ void usage(FILE* out)
         "output and verification:\n"
         "  -o, --output <file>     write result (.bench/.v/.txt by extension)\n"
         "  --bristol               Bristol-fashion input (and output)\n"
-        "  --verify <m>            sim (default) | sat | none\n"
+        "  --verify <m>            sim (default) | sat (warm incremental\n"
+        "                          CEC, one solver across outputs) |\n"
+        "                          sat-cold (fresh whole-network miter) |\n"
+        "                          none\n"
         "  --report <file>         per-pass JSON report (see docs/artifacts.md)\n"
         "  --seed <n>              random-simulation seed (default 1)\n"
         "\n"
@@ -432,6 +469,27 @@ int main(int argc, char** argv)
             }
             opt.params.rewrite.incremental_cuts = mode == "on";
             opt.params.size_rewrite.incremental_cuts = mode == "on";
+        } else if (arg == "--incremental-eval") {
+            const std::string mode = next();
+            if (mode != "on" && mode != "off") {
+                std::fprintf(stderr,
+                             "error: --incremental-eval needs on|off, got "
+                             "'%s'\n",
+                             mode.c_str());
+                return exit_usage;
+            }
+            opt.params.rewrite.incremental_evaluate = mode == "on";
+            opt.params.size_rewrite.incremental_evaluate = mode == "on";
+        } else if (arg == "--sat-commits") {
+            const std::string mode = next();
+            if (mode != "on" && mode != "off") {
+                std::fprintf(stderr,
+                             "error: --sat-commits needs on|off, got '%s'\n",
+                             mode.c_str());
+                return exit_usage;
+            }
+            opt.params.rewrite.sat_verify_commits = mode == "on";
+            opt.params.size_rewrite.sat_verify_commits = mode == "on";
         } else if (arg == "--classify-baseline")
             opt.params.rewrite.classification_word_parallel = false;
         else if (arg == "--deadline")
@@ -563,7 +621,9 @@ int main(int argc, char** argv)
         // ----------------------------------------------------------- verify
         bool verified = true;
         std::string method = "none";
-        if (opt.verify == "sim" || opt.verify == "sat") {
+        std::vector<sat::verification_record> verify_checks;
+        if (opt.verify == "sim" || opt.verify == "sat" ||
+            opt.verify == "sat-cold") {
             if (optimized.num_pis() <= 16) {
                 verified = exhaustive_equal(optimized, golden);
                 method = "exhaustive";
@@ -573,10 +633,19 @@ int main(int argc, char** argv)
                 method = "random-simulation";
             }
             if (verified && opt.verify == "sat") {
+                // Warm path: the golden CNF is encoded once and every
+                // output is decided under assumptions on the same solver.
+                sat::incremental_cec cec{golden};
+                const auto report = cec.check(optimized);
+                verified =
+                    report.result == sat::equivalence_result::equivalent;
+                verify_checks = cec.records();
+                method = "sat";
+            } else if (verified && opt.verify == "sat-cold") {
                 const auto report = sat::check_equivalence(optimized, golden);
                 verified =
                     report.result == sat::equivalence_result::equivalent;
-                method = "sat";
+                method = "sat-cold";
             }
         } else if (opt.verify != "none") {
             std::fprintf(stderr, "error: unknown --verify mode '%s'\n",
@@ -585,7 +654,8 @@ int main(int argc, char** argv)
         }
 
         if (!opt.report.empty())
-            write_report(opt.report, opt.input, result, verified, method);
+            write_report(opt.report, opt.input, result, verified, method,
+                         verify_checks);
         if (!verified) {
             std::fprintf(stderr,
                          "FAIL: optimized network is NOT equivalent (%s)\n",
