@@ -94,6 +94,60 @@ grep -q '"threads": 4' FLOW_smoke_par.json || {
     exit 1
 }
 
+# Observability smoke (docs/observability.md).  --trace must emit a
+# Perfetto-loadable Chrome trace-event JSON with the flow/pass/round/phase
+# span hierarchy and per-worker lanes, and must not perturb the
+# optimization (byte-identical output next to the untraced run above).
+./build/tools/mcx --flow mc+xor --threads 4 \
+    --trace build/adder16_trace.json gen:adder:16 \
+    -o build/adder16_traced.bench >/dev/null
+cmp build/adder16_opt.bench build/adder16_traced.bench || {
+    echo "ci.sh: --trace changed the optimized output" >&2
+    exit 1
+}
+python3 - build/adder16_trace.json <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+names = {e["name"] for e in events}
+for required in ["process_name", "flow", "mc-rewrite", "round",
+                 "phase.evaluate", "phase.commit", "pool.task"]:
+    assert required in names, f"trace lacks a {required!r} event"
+begins = sum(1 for e in events if e["ph"] == "B")
+ends = sum(1 for e in events if e["ph"] == "E")
+assert begins == ends and begins > 0, f"unbalanced B/E: {begins}/{ends}"
+lanes = {e["tid"] for e in events if "tid" in e}
+assert len(lanes) >= 2, f"expected >= 2 worker lanes, got {sorted(lanes)}"
+PY
+# The report carries the merged metrics registry, process stats, and the
+# per-pass database traffic block (schemas: docs/artifacts.md) — and must
+# still be valid JSON.
+grep -q '"metrics"' FLOW_smoke_gen.json || {
+    echo "ci.sh: flow report lacks the metrics block" >&2
+    exit 1
+}
+grep -q '"process"' FLOW_smoke_gen.json || {
+    echo "ci.sh: flow report lacks the process-stats block" >&2
+    exit 1
+}
+grep -q '"db"' FLOW_smoke_gen.json || {
+    echo "ci.sh: flow report lacks the per-pass db block" >&2
+    exit 1
+}
+python3 -c 'import json; json.load(open("FLOW_smoke_gen.json"))'
+
+# --progress writes periodic status to stderr only; the report and the
+# emitted network must be untouched by it.
+./build/tools/mcx --flow mc+xor --progress gen:adder:16 \
+    -o build/adder16_progress.bench --report FLOW_smoke_progress.json \
+    >/dev/null 2>build/progress.log
+python3 -c 'import json; json.load(open("FLOW_smoke_progress.json"))'
+cmp build/adder16_opt.bench build/adder16_progress.bench || {
+    echo "ci.sh: --progress changed the optimized output" >&2
+    exit 1
+}
+
 # Resource-governance smoke (docs/robustness.md).  Deadline: a budgeted
 # MD5 flow must stop cooperatively, emit a verified best-effort network,
 # and exit 0 — well within the wall-clock bound (deadline plus stop
@@ -170,6 +224,7 @@ for flag in --flow --iterate --rounds --cut-size --cut-limit --zero-gain \
             --verify --report --seed --no-batch --classify-baseline \
             --incremental-cuts --incremental-eval --sat-commits \
             --deadline --pass-deadline --on-limit \
+            --trace --progress \
             --threads --bristol --output --list-gens --list-flows; do
     grep -qe "$flag" <<<"$help_text" || {
         echo "ci.sh: mcx --help does not mention $flag" >&2
@@ -221,10 +276,12 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread,undefined -fno-sanitize-recover=undefined" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread,undefined"
 cmake --build build-tsan -j"$(nproc)" --target par_test pass_test \
-    cut_incremental_test incremental_eval_test robustness_test
+    cut_incremental_test incremental_eval_test robustness_test obs_test
 (cd build-tsan &&
     GTEST_FILTER='work_deque.*:thread_pool.*:sharded_database.*:two_phase_determinism.aes_family' \
         ctest -R par_test --output-on-failure &&
+    GTEST_FILTER='metrics.*:tracing.*' \
+        ctest -R obs_test --output-on-failure &&
     GTEST_FILTER='cut_arena_incremental.*:cut_maintainer.*:incremental_differential.aes_family' \
         ctest -R cut_incremental_test --output-on-failure &&
     GTEST_FILTER='evaluate_differential.aes_family:evaluate_cache.*' \
@@ -236,4 +293,4 @@ cmake --build build-tsan -j"$(nproc)" --target par_test pass_test \
 echo "ci.sh: all gates passed (JSON artifacts: BENCH_micro_core.json," \
      "FLOW_smoke_gen.json, FLOW_smoke_bench.json, FLOW_smoke_par.json," \
      "FLOW_smoke_sat.json, FLOW_smoke_deadline.json, FLOW_smoke_sigint.json," \
-     "FLOW_smoke_fault.json)"
+     "FLOW_smoke_fault.json, FLOW_smoke_progress.json)"

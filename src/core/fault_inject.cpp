@@ -1,5 +1,7 @@
 #include "core/fault_inject.h"
 
+#include "obs/trace.h"
+
 #include <array>
 #include <cstdlib>
 #include <mutex>
@@ -98,6 +100,7 @@ void fire_slow(fault_site site)
                                               std::memory_order_relaxed)) {
             std::lock_guard<std::mutex> lock{config_mutex()};
             refresh_any_armed_locked();
+            obs::trace::instant(to_string(site));
             throw fault_injected_error{site};
         }
     }

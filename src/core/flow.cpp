@@ -1,5 +1,8 @@
 #include "core/flow.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 #include <chrono>
 #include <stdexcept>
 
@@ -29,6 +32,7 @@ std::shared_ptr<const pass> make_pass(std::string_view token,
 flow_result run_flow(xag& network, const flow& f, pass_context& ctx)
 {
     const auto start = std::chrono::steady_clock::now();
+    const obs::trace::trace_span flow_span{"flow"};
     flow_result result;
     result.flow_name = f.name;
     result.before = stats_of(network);
@@ -54,11 +58,23 @@ flow_result run_flow(xag& network, const flow& f, pass_context& ctx)
             }
             ctx.token =
                 flow_token.with_timeout(f.params.pass_deadline_seconds);
-            const auto ps = p->run(network, ctx);
+            // name() returns a view over a literal, so the pointer has the
+            // static lifetime the span record and progress state need.
+            obs::set_progress_pass(p->name().data());
+            obs::set_progress_round(0);
+            static const auto passes_metric =
+                obs::register_metric("flow.passes");
+            passes_metric.add();
+            pass_stats ps;
+            {
+                const obs::trace::trace_span pass_span{p->name().data()};
+                ps = p->run(network, ctx);
+            }
             result.passes.push_back(ps);
             if (ps.status == outcome::ok)
                 continue;
             result.limit_hit = true;
+            obs::trace::instant(to_string(ps.status));
             if (ps.status == outcome::deadline_exceeded &&
                 !flow_token.stop_requested()) {
                 // Only the pass-local deadline fired: that pass degraded

@@ -4,6 +4,8 @@
 // a hash lookup while the bound keeps memory flat on adversarial inputs.
 #pragma once
 
+#include "obs/metrics.h"
+
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -33,9 +35,11 @@ public:
         const auto it = map_.find(key);
         if (it == map_.end()) {
             ++misses_;
+            miss_metric_.add();
             return nullptr;
         }
         ++hits_;
+        hit_metric_.add();
         order_.splice(order_.begin(), order_, it->second);
         return &it->second->second;
     }
@@ -59,6 +63,15 @@ public:
 
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
+
+    /// Mirror hits/misses into registry counters (obs/metrics.h) on top of
+    /// the per-instance totals — many instances (per-worker shards) may
+    /// share one registry name, aggregating process-wide.
+    void set_metrics(obs::metric hit, obs::metric miss)
+    {
+        hit_metric_ = hit;
+        miss_metric_ = miss;
+    }
     size_t size() const { return map_.size(); }
     size_t capacity() const { return capacity_; }
 
@@ -76,6 +89,8 @@ private:
     std::unordered_map<Key, typename entry_list::iterator, Hash> map_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    obs::metric hit_metric_;
+    obs::metric miss_metric_;
 };
 
 } // namespace mcx

@@ -2,6 +2,8 @@
 
 #include "core/mffc.h"
 #include "core/xor_resynthesis.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tt/operations.h"
 #include "xag/cleanup.h"
 #include "xag/simulate.h"
@@ -325,6 +327,7 @@ void run_rewrite_loop(xag& net, pass_context& ctx, round_stats& stats,
                       bool allow_zero_gain, bool batched, Strategy& strat,
                       const round_env& env)
 {
+    const obs::trace::trace_span loop_span{"phase.rewrite-loop"};
     const auto& cuts = ctx.cuts();
     auto& sim = ctx.simulator();
 
@@ -632,28 +635,35 @@ void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
     std::vector<eval_winner> winners(nodes.size());
     std::vector<uint32_t> fresh; // indices into `nodes` needing evaluation
     fresh.reserve(nodes.size());
-    for (size_t idx = 0; idx < nodes.size(); ++idx) {
-        const auto n = nodes[idx];
-        if (env.cache_valid && n < env.dirty.size() && env.dirty[n] == 0 &&
-            n < cache->has_entry.size() && cache->has_entry[n] != 0) {
-            winners[idx] = cache->winners[n];
-            ++stats.nodes_clean;
-        } else {
-            fresh.push_back(static_cast<uint32_t>(idx));
+    {
+        obs::trace::trace_span eval_span{"phase.evaluate"};
+        for (size_t idx = 0; idx < nodes.size(); ++idx) {
+            const auto n = nodes[idx];
+            if (env.cache_valid && n < env.dirty.size() &&
+                env.dirty[n] == 0 && n < cache->has_entry.size() &&
+                cache->has_entry[n] != 0) {
+                winners[idx] = cache->winners[n];
+                ++stats.nodes_clean;
+            } else {
+                fresh.push_back(static_cast<uint32_t>(idx));
+            }
         }
-    }
-    stats.nodes_evaluated += fresh.size();
+        stats.nodes_evaluated += fresh.size();
+        eval_span.set_arg(fresh.size());
 
-    const auto& cuts = ctx.cuts();
+        const auto& cuts = ctx.cuts();
+        const auto& token = ctx.token;
+        pool.parallel_for(0, fresh.size(), [&](size_t i, uint32_t worker) {
+            if (token.stop_possible() && token.stop_requested())
+                return; // leave the winner invalid; the round is discarded
+            const auto idx = fresh[i];
+            evaluate_node(net, cuts, strat, ctx.scratch(worker),
+                          allow_zero_gain, batched, nodes[idx],
+                          winners[idx]);
+            winners[idx].worker = worker;
+        });
+    }
     const auto& token = ctx.token;
-    pool.parallel_for(0, fresh.size(), [&](size_t i, uint32_t worker) {
-        if (token.stop_possible() && token.stop_requested())
-            return; // leave the winner invalid; the round is discarded
-        const auto idx = fresh[i];
-        evaluate_node(net, cuts, strat, ctx.scratch(worker), allow_zero_gain,
-                      batched, nodes[idx], winners[idx]);
-        winners[idx].worker = worker;
-    });
 
     for (uint32_t w = 0; w < workers; ++w) {
         auto& sc = ctx.scratch(w);
@@ -692,6 +702,7 @@ void run_two_phase_round(xag& net, pass_context& ctx, round_stats& stats,
     }
 
     // ---- phase 2: sequential commit in node order.
+    const obs::trace::trace_span commit_span{"phase.commit"};
     auto& sim = ctx.simulator();
     std::vector<signal> leaf_sigs;
     std::vector<uint32_t> support_nodes;
@@ -793,6 +804,7 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
                           bool sat_verify, StrategyFactory&& make_strategy)
 {
     const auto start = std::chrono::steady_clock::now();
+    obs::trace::trace_span round_span{"round"};
     round_stats stats;
     auto strat = make_strategy(stats);
     using strategy_type = std::remove_reference_t<decltype(strat)>;
@@ -818,12 +830,16 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
     auto cuts_done = start;
     try {
         auto& maint = ctx.cut_maintenance();
-        maint.refresh(
-            network, ctx.cuts(),
-            {.cut_size = cut_size, .cut_limit = cut_limit,
-             .incremental = incremental_cuts},
-            &stats.cut_stats,
-            num_threads >= 1 ? &ctx.pool(num_threads) : nullptr, ctx.token);
+        {
+            const obs::trace::trace_span refresh_span{"phase.cut-refresh"};
+            maint.refresh(
+                network, ctx.cuts(),
+                {.cut_size = cut_size, .cut_limit = cut_limit,
+                 .incremental = incremental_cuts},
+                &stats.cut_stats,
+                num_threads >= 1 ? &ctx.pool(num_threads) : nullptr,
+                ctx.token);
+        }
         cuts_done = std::chrono::steady_clock::now();
         stats.cut_seconds =
             std::chrono::duration<double>(cuts_done - start).count();
@@ -908,6 +924,27 @@ round_stats generic_round(xag& network, pass_context& ctx, uint32_t cut_size,
         stats.sat_conflicts = v.conflicts() - verify_conflicts0;
         stats.sat_warm_starts = v.warm_starts() - verify_warm0;
     }
+
+    static const auto rounds_metric = obs::register_metric("rewrite.rounds");
+    static const auto replacements_metric =
+        obs::register_metric("rewrite.replacements");
+    static const auto cuts_metric =
+        obs::register_metric("rewrite.cuts_evaluated");
+    static const auto evaluated_metric =
+        obs::register_metric("rewrite.nodes_evaluated");
+    static const auto clean_metric =
+        obs::register_metric("rewrite.nodes_clean");
+    rounds_metric.add();
+    replacements_metric.add(stats.replacements);
+    cuts_metric.add(stats.cuts_evaluated);
+    evaluated_metric.add(stats.nodes_evaluated);
+    clean_metric.add(stats.nodes_clean);
+    round_span.set_arg(stats.replacements);
+    // A round cut short (deadline, cancellation, fault) leaves a marker at
+    // the exact spot in the timeline; to_string yields a literal, which is
+    // what the trace record stores.
+    if (stats.status != outcome::ok)
+        obs::trace::instant(to_string(stats.status));
     return stats;
 }
 
@@ -1047,6 +1084,7 @@ convergence_stats run_until_convergence(xag& network, Round&& round,
 {
     convergence_stats result;
     for (uint32_t i = 0; i < max_rounds; ++i) {
+        obs::set_progress_round(i + 1);
         const auto stats = round(network);
         result.rounds.push_back(stats);
         if (stats.status != outcome::ok) {
@@ -1122,6 +1160,9 @@ pass_stats mc_rewrite_pass::run(xag& network, pass_context& ctx) const
     ps.pass_name = name();
     ps.before = stats_of(network);
     ps.num_threads = std::max(1u, params_.num_threads);
+    auto& db = ctx.mc_db();
+    const auto db_hits0 = db.hits();
+    const auto db_misses0 = db.misses();
     const auto conv = run_until_convergence(
         network,
         [&](xag& net) { return mc_rewrite_round(net, ctx, params_); },
@@ -1129,6 +1170,11 @@ pass_stats mc_rewrite_pass::run(xag& network, pass_context& ctx) const
     ps.rounds = conv.rounds;
     ps.converged = conv.converged;
     ps.status = conv.status;
+    ps.db_hits = db.hits() - db_hits0;
+    ps.db_misses = db.misses() - db_misses0;
+    ps.db_entries = db.size();
+    ps.db_exact = db.exact_entries();
+    ps.db_heuristic = db.heuristic_entries();
     return finish_pass(ctx, std::move(ps), network, start);
 }
 
@@ -1139,6 +1185,9 @@ pass_stats size_rewrite_pass::run(xag& network, pass_context& ctx) const
     ps.pass_name = name();
     ps.before = stats_of(network);
     ps.num_threads = std::max(1u, params_.num_threads);
+    auto& db = ctx.size_db();
+    const auto db_hits0 = db.hits();
+    const auto db_misses0 = db.misses();
     const auto conv = run_until_convergence(
         network,
         [&](xag& net) { return size_rewrite_round(net, ctx, params_); },
@@ -1146,6 +1195,9 @@ pass_stats size_rewrite_pass::run(xag& network, pass_context& ctx) const
     ps.rounds = conv.rounds;
     ps.converged = conv.converged;
     ps.status = conv.status;
+    ps.db_hits = db.hits() - db_hits0;
+    ps.db_misses = db.misses() - db_misses0;
+    ps.db_entries = db.size();
     return finish_pass(ctx, std::move(ps), network, start);
 }
 

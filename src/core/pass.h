@@ -189,6 +189,15 @@ struct pass_stats {
     std::vector<round_stats> rounds; ///< rewrite passes only
     uint32_t xor_blocks = 0;         ///< xor_resynthesis only
     uint32_t xor_pairs_extracted = 0; ///< xor_resynthesis only
+    /// Database traffic over this pass (rewrite passes only): sharded_store
+    /// hits/misses delta, entry count after the pass, and — for the mc
+    /// database — how many of the entries ever built were certified
+    /// optimal vs heuristic fallbacks.
+    uint64_t db_hits = 0;
+    uint64_t db_misses = 0;
+    uint64_t db_entries = 0;
+    uint64_t db_exact = 0;
+    uint64_t db_heuristic = 0;
     /// Why the pass ended.  Non-ok means the pass stopped cooperatively at
     /// a commit boundary: the network is consistent, function-equivalent,
     /// and carries whatever gains were committed before the stop.

@@ -1,10 +1,13 @@
 #include "core/xor_resynthesis.h"
 
 #include "core/mffc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 
 #include <algorithm>
 #include <bit>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -205,9 +208,13 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
 
     std::vector<linear_row> rows;
     rows.reserve(roots.size());
-    linear_expander expander{network};
-    for (const auto r : roots)
-        rows.push_back(expander.expand(r));
+    {
+        obs::trace::trace_span expand_span{"phase.xor-expand"};
+        linear_expander expander{network};
+        for (const auto r : roots)
+            rows.push_back(expander.expand(r));
+        expand_span.set_arg(rows.size());
+    }
     stats.blocks = static_cast<uint32_t>(rows.size());
 
     // Paar's greedy algorithm on the whole system: extract the most common
@@ -390,6 +397,10 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
         const auto reason = params.token.stop_reason();
         return reason == outcome::ok ? outcome::cancelled : reason;
     };
+    // Ends after the extraction loop via reset() — the loop body is too
+    // entangled with surrounding locals for a scoped block.
+    std::optional<obs::trace::trace_span> pair_span{std::in_place,
+                                                    "phase.xor-pair"};
     while (!heap.empty()) {
         if ((++extract_steps & 1023u) == 0 &&
             params.token.stop_requested()) {
@@ -433,6 +444,9 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
             rows_of_term[id].push_back(r);
         }
     }
+    if (pair_span)
+        pair_span->set_arg(stats.pairs_extracted);
+    pair_span.reset();
 
     // Pin every real terminal: substitution cascades below may restructure
     // later rows' old cones and would otherwise free terminals before
@@ -551,6 +565,10 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
         if (is_protected[term])
             network.release_ref(signal{term, false});
 
+    static const auto blocks_metric = obs::register_metric("xor.blocks");
+    static const auto pairs_metric = obs::register_metric("xor.pairs");
+    blocks_metric.add(stats.blocks);
+    pairs_metric.add(stats.pairs_extracted);
     stats.xors_after = network.num_xors();
     return stats;
 }

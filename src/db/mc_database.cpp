@@ -2,6 +2,7 @@
 
 #include "core/fault_inject.h"
 #include "exact/heuristic_mc.h"
+#include "obs/trace.h"
 #include "xag/cleanup.h"
 
 #include <fstream>
@@ -86,6 +87,10 @@ const mc_database::entry& mc_database::lookup_or_build(
         representative,
         [&](const truth_table& rep) {
             fault_injection::fire(fault_site::db_build);
+            const obs::trace::trace_span span{"db.mc.synthesize"};
+            static const auto synthesized =
+                obs::register_metric("db.mc.synthesize");
+            synthesized.add();
             entry e;
             bool built = false;
             if (params_.use_exact) {

@@ -42,7 +42,11 @@ public:
         bool optimal = false; ///< certified MC-optimal by exact synthesis
     };
 
-    explicit mc_database(mc_database_params params = {}) : params_{params} {}
+    explicit mc_database(mc_database_params params = {}) : params_{params}
+    {
+        entries_.set_metrics(obs::register_metric("db.mc.hit"),
+                             obs::register_metric("db.mc.miss"));
+    }
 
     // Movable (load_file returns by value); the atomic counters need the
     // explicit member-wise move.  Not meant to be moved while other

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/budget.h"
+#include "obs/metrics.h"
 
 #include <array>
 #include <atomic>
@@ -76,6 +77,7 @@ public:
             }
             if (s.state == slot_state::ready) {
                 state_->hits.fetch_add(1, std::memory_order_relaxed);
+                state_->hit_metric.add();
                 return s.value;
             }
             // The previous builder threw; fall through and take over.
@@ -84,6 +86,7 @@ public:
         }
         s.state = slot_state::building;
         state_->misses.fetch_add(1, std::memory_order_relaxed);
+        state_->miss_metric.add();
         lock.unlock();
         try {
             Value built = build(key);
@@ -132,6 +135,15 @@ public:
         return state_->misses.load(std::memory_order_relaxed);
     }
 
+    /// Mirror hits/misses into registry counters (obs/metrics.h) in
+    /// addition to the per-instance atomics above — instance totals feed
+    /// per-round deltas in reports, the registry aggregates across stores.
+    void set_metrics(obs::metric hit, obs::metric miss)
+    {
+        state_->hit_metric = hit;
+        state_->miss_metric = miss;
+    }
+
     /// Visit every ready (key, value) pair.  Holds each shard's lock
     /// during its sweep; meant for the single-threaded save/export paths.
     template <typename F>
@@ -165,6 +177,8 @@ private:
         std::array<shard, num_shards> shards;
         std::atomic<uint64_t> hits{0};
         std::atomic<uint64_t> misses{0};
+        obs::metric hit_metric;
+        obs::metric miss_metric;
     };
 
     shard& shard_for(const Key& key) const

@@ -3,6 +3,7 @@
 #include "core/fault_inject.h"
 #include "exact/exact_size.h"
 #include "exact/heuristic_mc.h"
+#include "obs/trace.h"
 
 namespace mcx {
 
@@ -13,6 +14,10 @@ const size_database::entry& size_database::lookup_or_build(
         representative,
         [&](const truth_table& rep) {
             fault_injection::fire(fault_site::db_build);
+            const obs::trace::trace_span span{"db.size.synthesize"};
+            static const auto synthesized =
+                obs::register_metric("db.size.synthesize");
+            synthesized.add();
             entry e;
             const auto exact = exact_size_synthesis(
                 rep, {.max_gates = params_.exact_max_gates,

@@ -27,8 +27,11 @@ public:
         bool optimal = false;
     };
 
-    explicit size_database(size_database_params params = {})
-        : params_{params} {}
+    explicit size_database(size_database_params params = {}) : params_{params}
+    {
+        entries_.set_metrics(obs::register_metric("db.size.hit"),
+                             obs::register_metric("db.size.miss"));
+    }
 
     /// Circuit for an NPN representative (at most 4 variables).
     /// Thread-safe; synthesized once per class, reference valid for the

@@ -58,6 +58,10 @@ public:
     explicit npn_cache(size_t capacity = lru_cache<int, int>::default_capacity)
         : cache_{capacity}
     {
+        // Every instance (including per-worker shards) aggregates into the
+        // same process-wide counters.
+        cache_.set_metrics(obs::register_metric("cache.npn.hit"),
+                           obs::register_metric("cache.npn.miss"));
     }
 
     /// Reference valid until this entry is evicted (callers consume it

@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace mcx::obs {
+
+namespace {
+
+/// Registry storage.  Deliberately leaked (never destroyed) so metric
+/// handles and striped cells outlive every thread, including those still
+/// unwinding during process exit.
+struct registry {
+    std::mutex mutex;
+    // std::map keeps handles stable (node-based) and snapshot() sorted.
+    std::map<std::string, std::unique_ptr<metric_cell[]>, std::less<>>
+        counters;
+};
+
+registry& instance()
+{
+    static registry* r = new registry;
+    return *r;
+}
+
+std::chrono::steady_clock::time_point process_epoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+// Touch the epoch as early as possible so wall_seconds approximates
+// process lifetime rather than time-since-first-report.
+const auto g_epoch_init = process_epoch();
+
+std::atomic<const char*> g_progress_pass{nullptr};
+std::atomic<uint32_t> g_progress_round{0};
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool>& metrics_enabled_flag()
+{
+    static std::atomic<bool> enabled{true};
+    return enabled;
+}
+
+uint32_t thread_stripe()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return stripe;
+}
+
+} // namespace detail
+
+void set_metrics_enabled(bool enabled)
+{
+    detail::metrics_enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+metric register_metric(std::string_view name)
+{
+    auto& reg = instance();
+    std::lock_guard lock{reg.mutex};
+    auto it = reg.counters.find(name);
+    if (it == reg.counters.end())
+        it = reg.counters
+                 .emplace(std::string{name},
+                          std::make_unique<metric_cell[]>(metric_stripes))
+                 .first;
+    return metric{it->second.get()};
+}
+
+std::vector<metric_value> metrics_snapshot()
+{
+    auto& reg = instance();
+    std::lock_guard lock{reg.mutex};
+    std::vector<metric_value> out;
+    out.reserve(reg.counters.size());
+    for (const auto& [name, cells] : reg.counters) {
+        uint64_t total = 0;
+        for (uint32_t i = 0; i < metric_stripes; ++i)
+            total += cells[i].value.load(std::memory_order_relaxed);
+        out.push_back({name, total});
+    }
+    return out;
+}
+
+process_stats read_process_stats()
+{
+    process_stats ps;
+    ps.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - process_epoch())
+                          .count();
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+        // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+        ps.peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss);
+#else
+        ps.peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+        const auto tv_seconds = [](const timeval& tv) {
+            return static_cast<double>(tv.tv_sec) +
+                   static_cast<double>(tv.tv_usec) * 1e-6;
+        };
+        ps.cpu_seconds = tv_seconds(ru.ru_utime) + tv_seconds(ru.ru_stime);
+    }
+#endif
+    return ps;
+}
+
+void set_progress_pass(const char* name)
+{
+    g_progress_pass.store(name, std::memory_order_relaxed);
+}
+
+void set_progress_round(uint32_t round)
+{
+    g_progress_round.store(round, std::memory_order_relaxed);
+}
+
+std::pair<const char*, uint32_t> progress_state()
+{
+    return {g_progress_pass.load(std::memory_order_relaxed),
+            g_progress_round.load(std::memory_order_relaxed)};
+}
+
+} // namespace mcx::obs

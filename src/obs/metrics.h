@@ -1,0 +1,128 @@
+// The metrics registry: process-wide named counters every subsystem
+// reports through (docs/observability.md).
+//
+// A counter is registered once under a stable dotted name ("db.mc.miss",
+// "sat.conflicts", "pool.steals", ...) and returns a `metric` handle — a
+// pointer to an array of cache-line-padded relaxed-atomic cells.  `add`
+// picks the calling thread's stripe (a thread-local index assigned on
+// first use), so concurrent writers from different workers land on
+// different cache lines and never contend; `snapshot` merges the stripes
+// at flush time.  Counting is monotone and commutative, which is what
+// makes the striped relaxed scheme exact: the merged total equals the
+// number of add() calls regardless of interleaving.
+//
+// Counters observe, they never steer: no optimizer decision reads one, so
+// output is byte-identical whether the registry is enabled or not (the
+// determinism contract, asserted in tests/obs_test.cpp).  The registry is
+// a deliberately leaked singleton so counters stay valid during thread
+// teardown at process exit.
+//
+// `set_enabled(false)` turns every add() into its branch alone — the A/B
+// switch behind the bench_micro_core `obs_overhead` stage, which gates
+// the cost of counting on a warmed rewrite round.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcx::obs {
+
+inline constexpr uint32_t metric_stripes = 16;
+
+struct alignas(64) metric_cell {
+    std::atomic<uint64_t> value{0};
+};
+
+namespace detail {
+
+std::atomic<bool>& metrics_enabled_flag();
+
+/// The calling thread's stripe index, assigned round-robin on first use.
+uint32_t thread_stripe();
+
+} // namespace detail
+
+/// Whether add() records at all (default: true).  Purely an overhead
+/// measurement hook — totals freeze while disabled.
+inline bool metrics_enabled()
+{
+    return detail::metrics_enabled_flag().load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool enabled);
+
+/// Cheap copyable handle to one registered counter.  A default-constructed
+/// handle is inert (add() is a no-op) so callers can defer registration.
+class metric {
+public:
+    metric() = default;
+
+    void add(uint64_t delta = 1) const
+    {
+        if (cells_ == nullptr || !metrics_enabled())
+            return;
+        cells_[detail::thread_stripe() % metric_stripes].value.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    /// Merged total across all stripes (racy-exact: the sum of every add
+    /// that happened-before the call, plus possibly some concurrent ones).
+    uint64_t value() const
+    {
+        if (cells_ == nullptr)
+            return 0;
+        uint64_t total = 0;
+        for (uint32_t i = 0; i < metric_stripes; ++i)
+            total += cells_[i].value.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    bool valid() const { return cells_ != nullptr; }
+
+private:
+    friend metric register_metric(std::string_view name);
+    explicit metric(metric_cell* cells) : cells_{cells} {}
+    metric_cell* cells_ = nullptr;
+};
+
+/// The counter named `name`, creating it on first registration.
+/// Idempotent: every call with the same name returns a handle to the same
+/// cells.  Thread-safe; names should follow the dotted convention in
+/// docs/observability.md.
+metric register_metric(std::string_view name);
+
+struct metric_value {
+    std::string name;
+    uint64_t value;
+};
+
+/// Merged totals of every registered counter, sorted by name.
+std::vector<metric_value> metrics_snapshot();
+
+// ---------------------------------------------------------- process stats
+
+/// Coarse whole-process resource usage for reports (peak RSS, CPU and wall
+/// seconds).  Wall time is measured from the first call to any obs
+/// function (process start, in practice).
+struct process_stats {
+    uint64_t peak_rss_bytes = 0;
+    double cpu_seconds = 0.0;
+    double wall_seconds = 0.0;
+};
+
+process_stats read_process_stats();
+
+// -------------------------------------------------------- progress state
+
+/// Best-effort "where is the optimizer right now" shared state, published
+/// by the flow/round engines and sampled by the mcx --progress reporter.
+/// The pass name must point at storage with static lifetime (pass names
+/// are string literals).
+void set_progress_pass(const char* name);
+void set_progress_round(uint32_t round);
+std::pair<const char*, uint32_t> progress_state();
+
+} // namespace mcx::obs

@@ -1,0 +1,285 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <set>
+
+namespace mcx::obs::trace {
+
+namespace {
+
+/// One thread's ring buffer.  Writes are single-producer (the owning
+/// thread); `head` is published with a release store so a quiescent
+/// collector sees every record below it.  Overflow overwrites the oldest
+/// slot — `head - capacity` records have then been dropped.
+struct ring {
+    explicit ring(uint32_t capacity)
+        : slots(capacity), capacity_mask{capacity - 1}
+    {
+    }
+
+    std::vector<trace_event> slots;
+    uint32_t capacity_mask; ///< capacity is a power of two
+    std::atomic<uint64_t> head{0};
+
+    void push(const trace_event& ev)
+    {
+        const uint64_t h = head.load(std::memory_order_relaxed);
+        slots[h & capacity_mask] = ev;
+        head.store(h + 1, std::memory_order_release);
+    }
+};
+
+/// Ring registry — deliberately leaked so rings written by pool workers
+/// stay valid through thread teardown at process exit.
+struct ring_registry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ring>> rings;
+    std::atomic<uint32_t> capacity{1u << 16};
+};
+
+ring_registry& registry()
+{
+    static ring_registry* r = new ring_registry;
+    return *r;
+}
+
+uint32_t round_up_pow2(uint32_t v)
+{
+    uint32_t p = 1;
+    while (p < v && p < (1u << 24))
+        p <<= 1;
+    return p;
+}
+
+thread_local ring* t_ring = nullptr;
+thread_local uint32_t t_lane = 0;
+
+ring* this_thread_ring()
+{
+    if (t_ring == nullptr) {
+        auto& reg = registry();
+        auto owned = std::make_shared<ring>(
+            reg.capacity.load(std::memory_order_relaxed));
+        std::lock_guard lock{reg.mutex};
+        reg.rings.push_back(owned);
+        t_ring = owned.get();
+    }
+    return t_ring;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool>& tracing_enabled_flag()
+{
+    static std::atomic<bool> enabled{false};
+    return enabled;
+}
+
+uint64_t now_ns()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+void record(const char* name, uint64_t start_ns, uint64_t end_ns,
+            event_kind kind, uint64_t arg, bool has_arg)
+{
+    trace_event ev;
+    ev.name = name;
+    ev.start_ns = start_ns;
+    ev.end_ns = end_ns;
+    ev.arg = arg;
+    ev.lane = t_lane;
+    ev.kind = kind;
+    ev.has_arg = has_arg;
+    this_thread_ring()->push(ev);
+}
+
+} // namespace detail
+
+void enable(uint32_t ring_capacity)
+{
+    registry().capacity.store(round_up_pow2(ring_capacity),
+                              std::memory_order_relaxed);
+    detail::now_ns(); // pin the clock epoch before the first span
+    detail::tracing_enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void disable()
+{
+    detail::tracing_enabled_flag().store(false, std::memory_order_relaxed);
+}
+
+void clear()
+{
+    auto& reg = registry();
+    std::lock_guard lock{reg.mutex};
+    for (auto& r : reg.rings)
+        r->head.store(0, std::memory_order_release);
+}
+
+void set_lane(uint32_t lane)
+{
+    t_lane = lane;
+}
+
+std::vector<trace_event> collect()
+{
+    auto& reg = registry();
+    std::lock_guard lock{reg.mutex};
+    std::vector<trace_event> out;
+    for (const auto& r : reg.rings) {
+        const uint64_t head = r->head.load(std::memory_order_acquire);
+        const uint64_t cap = r->capacity_mask + uint64_t{1};
+        const uint64_t first = head > cap ? head - cap : 0;
+        for (uint64_t i = first; i < head; ++i)
+            out.push_back(r->slots[i & r->capacity_mask]);
+    }
+    return out;
+}
+
+uint64_t dropped()
+{
+    auto& reg = registry();
+    std::lock_guard lock{reg.mutex};
+    uint64_t total = 0;
+    for (const auto& r : reg.rings) {
+        const uint64_t head = r->head.load(std::memory_order_acquire);
+        const uint64_t cap = r->capacity_mask + uint64_t{1};
+        total += head > cap ? head - cap : 0;
+    }
+    return total;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const char* s)
+{
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if (static_cast<unsigned char>(c) >= 0x20)
+            os << c;
+    }
+}
+
+void write_ts(std::ostream& os, uint64_t ns, uint64_t base_ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(ns - base_ns) / 1000.0);
+    os << buf;
+}
+
+void write_event_tail(std::ostream& os, const trace_event& ev)
+{
+    os << ",\"pid\":1,\"tid\":" << ev.lane;
+    if (ev.has_arg)
+        os << ",\"args\":{\"value\":" << ev.arg << "}";
+    os << "}";
+}
+
+} // namespace
+
+void write_chrome_trace(std::ostream& os, std::vector<trace_event> events)
+{
+    // Earliest timestamp anchors the trace at ts = 0.
+    uint64_t base_ns = ~uint64_t{0};
+    std::set<uint32_t> lanes;
+    for (const auto& ev : events) {
+        base_ns = std::min(base_ns, ev.start_ns);
+        lanes.insert(ev.lane);
+    }
+    if (events.empty())
+        base_ns = 0;
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\"mcx\"}}";
+    first = false;
+    for (const uint32_t lane : lanes) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << lane << ",\"args\":{\"name\":\""
+           << (lane == 0 ? "main/worker-0" : "worker-");
+        if (lane != 0)
+            os << lane;
+        os << "\"}}";
+    }
+
+    // Instants first (order within the JSON is irrelevant to viewers).
+    for (const auto& ev : events) {
+        if (ev.kind != event_kind::instant)
+            continue;
+        sep();
+        os << "{\"name\":\"";
+        write_escaped(os, ev.name);
+        os << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+        write_ts(os, ev.start_ns, base_ns);
+        write_event_tail(os, ev);
+    }
+
+    // Spans: per lane, sorted (start asc, end desc) so an enclosing span
+    // precedes its children, then emitted as balanced B/E pairs with a
+    // stack.  RAII guarantees proper nesting per thread, so a span on the
+    // stack whose end precedes the next span's start can be closed.
+    std::vector<trace_event> spans;
+    for (const auto& ev : events)
+        if (ev.kind == event_kind::span)
+            spans.push_back(ev);
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const trace_event& a, const trace_event& b) {
+                         if (a.lane != b.lane)
+                             return a.lane < b.lane;
+                         if (a.start_ns != b.start_ns)
+                             return a.start_ns < b.start_ns;
+                         return a.end_ns > b.end_ns;
+                     });
+
+    std::vector<const trace_event*> stack;
+    const auto close_top = [&] {
+        sep();
+        os << "{\"name\":\"";
+        write_escaped(os, stack.back()->name);
+        os << "\",\"ph\":\"E\",\"ts\":";
+        write_ts(os, stack.back()->end_ns, base_ns);
+        write_event_tail(os, *stack.back());
+        stack.pop_back();
+    };
+    for (const auto& ev : spans) {
+        while (!stack.empty() && (stack.back()->lane != ev.lane ||
+                                  stack.back()->end_ns <= ev.start_ns))
+            close_top();
+        sep();
+        os << "{\"name\":\"";
+        write_escaped(os, ev.name);
+        os << "\",\"ph\":\"B\",\"ts\":";
+        write_ts(os, ev.start_ns, base_ns);
+        write_event_tail(os, ev);
+        stack.push_back(&ev);
+    }
+    while (!stack.empty())
+        close_top();
+
+    os << "]}\n";
+}
+
+} // namespace mcx::obs::trace

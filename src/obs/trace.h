@@ -1,0 +1,131 @@
+// Scoped tracing: RAII spans recorded into per-thread lock-free ring
+// buffers, exported as Chrome trace-event JSON (Perfetto-loadable) via
+// `mcx --trace out.json`.
+//
+// Disabled by default; the only cost on the hot path is then one relaxed
+// atomic load per span constructor.  When enabled, each thread appends
+// fixed-size records to its own ring buffer (drop-oldest on overflow, with
+// a drop counter), so recording never blocks and never synchronizes
+// between workers.  Spans carry the recording thread's *lane* — the worker
+// index set by the thread pool, lane 0 for the main thread — so the
+// exported trace shows one track per worker.
+//
+// Tracing observes, it never steers: no optimizer decision depends on
+// whether tracing is on, so output is byte-identical either way (the
+// determinism contract, asserted in tests/obs_test.cpp).
+//
+// Span names must be string literals (the record stores the pointer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace mcx::obs::trace {
+
+enum class event_kind : uint8_t { span, instant };
+
+/// One completed record drained from a ring buffer.
+struct trace_event {
+    const char* name = nullptr;
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;  ///< == start_ns for instants
+    uint64_t arg = 0;     ///< optional numeric payload
+    uint32_t lane = 0;    ///< worker track the event belongs to
+    event_kind kind = event_kind::span;
+    bool has_arg = false;
+};
+
+namespace detail {
+
+std::atomic<bool>& tracing_enabled_flag();
+
+/// Record a completed span / an instant into the calling thread's ring.
+void record(const char* name, uint64_t start_ns, uint64_t end_ns,
+            event_kind kind, uint64_t arg, bool has_arg);
+
+uint64_t now_ns();
+
+} // namespace detail
+
+inline bool enabled()
+{
+    return detail::tracing_enabled_flag().load(std::memory_order_relaxed);
+}
+
+/// Turn recording on.  `ring_capacity` is per-thread, in events; rings are
+/// created lazily on each thread's first record.
+void enable(uint32_t ring_capacity = 1u << 16);
+void disable();
+
+/// Drop all buffered events and drop-counters (rings stay registered).
+void clear();
+
+/// The calling thread's lane for subsequent events.  The thread pool calls
+/// this with the worker index at the top of each worker loop; the main
+/// thread defaults to lane 0 (which is also worker 0 — in this pool the
+/// caller participates as the first worker).
+void set_lane(uint32_t lane);
+
+/// Drain every thread's ring into one list (unordered).  Call only at
+/// quiescence — after pool work has joined — so rings are not concurrently
+/// written.  Does not clear the rings.
+std::vector<trace_event> collect();
+
+/// Total events discarded ring-wide since the last clear() (drop-oldest
+/// overflow policy).
+uint64_t dropped();
+
+/// RAII span: records [construction, destruction) on the current thread.
+class trace_span {
+public:
+    explicit trace_span(const char* name)
+    {
+        if (enabled()) {
+            name_ = name;
+            start_ns_ = detail::now_ns();
+        }
+    }
+
+    trace_span(const trace_span&) = delete;
+    trace_span& operator=(const trace_span&) = delete;
+
+    /// Attach a numeric payload, emitted as `args:{"value":N}`.
+    void set_arg(uint64_t arg)
+    {
+        arg_ = arg;
+        has_arg_ = true;
+    }
+
+    ~trace_span()
+    {
+        if (name_ != nullptr && enabled())
+            detail::record(name_, start_ns_, detail::now_ns(),
+                           event_kind::span, arg_, has_arg_);
+    }
+
+private:
+    const char* name_ = nullptr;
+    uint64_t start_ns_ = 0;
+    uint64_t arg_ = 0;
+    bool has_arg_ = false;
+};
+
+/// A zero-duration marker (budget outcomes, fault firings, ...).
+inline void instant(const char* name, uint64_t arg = 0, bool has_arg = false)
+{
+    if (enabled()) {
+        const auto t = detail::now_ns();
+        detail::record(name, t, t, event_kind::instant, arg, has_arg);
+    }
+}
+
+/// Write `events` as Chrome trace-event JSON ({"traceEvents":[...]}):
+/// balanced B/E pairs per lane, "i" instants, and "M" metadata naming the
+/// process and one thread per lane.  Timestamps are microseconds relative
+/// to the earliest event.  Loadable in Perfetto / chrome://tracing.
+void write_chrome_trace(std::ostream& os, std::vector<trace_event> events);
+
+} // namespace mcx::obs::trace

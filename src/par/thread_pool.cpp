@@ -1,6 +1,8 @@
 #include "par/thread_pool.h"
 
 #include "core/fault_inject.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include <algorithm>
 #include <stdexcept>
@@ -91,8 +93,11 @@ thread_pool::thread_pool(uint32_t num_threads)
     }
     num_workers_ = num_threads;
     deques_.reserve(num_workers_);
-    for (uint32_t w = 0; w < num_workers_; ++w)
+    counters_.reserve(num_workers_);
+    for (uint32_t w = 0; w < num_workers_; ++w) {
         deques_.push_back(std::make_unique<work_deque>());
+        counters_.push_back(std::make_unique<counter_cell>());
+    }
     for (uint32_t w = 1; w < num_workers_; ++w)
         threads_.emplace_back([this, w] { worker_loop(w); });
 }
@@ -106,6 +111,14 @@ thread_pool::~thread_pool()
     work_ready_.notify_all();
     for (auto& t : threads_)
         t.join();
+}
+
+thread_pool::worker_stats thread_pool::stats(uint32_t worker) const
+{
+    const auto& c = *counters_[worker];
+    return {c.tasks.load(std::memory_order_relaxed),
+            c.steals.load(std::memory_order_relaxed),
+            c.idle.load(std::memory_order_relaxed)};
 }
 
 void thread_pool::worker_loop(uint32_t worker)
@@ -132,8 +145,13 @@ void thread_pool::worker_loop(uint32_t worker)
 
 void thread_pool::run_job(uint32_t worker)
 {
+    obs::trace::set_lane(worker);
     in_parallel_region = true;
     auto& own = *deques_[worker];
+    auto& counters = *counters_[worker];
+    uint64_t tasks = 0;
+    uint64_t steals = 0;
+    uint64_t idle = 0;
     uint32_t chunk = 0;
     while (!cancelled_.load(std::memory_order_relaxed)) {
         if (!own.pop(chunk)) {
@@ -143,11 +161,16 @@ void thread_pool::run_job(uint32_t worker)
             bool stolen = false;
             for (uint32_t i = 1; i < num_workers_ && !stolen; ++i)
                 stolen = deques_[(worker + i) % num_workers_]->steal(chunk);
-            if (!stolen)
+            if (!stolen) {
+                ++idle;
                 break;
+            }
+            ++steals;
         }
         const size_t lo = job_begin_ + size_t{chunk} * job_grain_;
         const size_t hi = std::min(job_end_, lo + job_grain_);
+        obs::trace::trace_span span{"pool.task"};
+        uint64_t executed = 0;
         try {
             for (size_t i = lo;
                  i < hi && !cancelled_.load(std::memory_order_relaxed);
@@ -157,6 +180,7 @@ void thread_pool::run_job(uint32_t worker)
                 // caller, like any exception escaping a task body.
                 fault_injection::fire(fault_site::worker_task);
                 (*body_)(i, worker);
+                ++executed;
             }
         } catch (...) {
             {
@@ -166,7 +190,18 @@ void thread_pool::run_job(uint32_t worker)
             }
             cancelled_.store(true, std::memory_order_relaxed);
         }
+        span.set_arg(executed);
+        tasks += executed;
     }
+    counters.tasks.fetch_add(tasks, std::memory_order_relaxed);
+    counters.steals.fetch_add(steals, std::memory_order_relaxed);
+    counters.idle.fetch_add(idle, std::memory_order_relaxed);
+    static const auto task_metric = obs::register_metric("pool.tasks");
+    static const auto steal_metric = obs::register_metric("pool.steals");
+    static const auto idle_metric = obs::register_metric("pool.idle");
+    task_metric.add(tasks);
+    steal_metric.add(steals);
+    idle_metric.add(idle);
     in_parallel_region = false;
 }
 
@@ -184,16 +219,28 @@ void thread_pool::parallel_for(
     if (num_workers_ == 1 || count == 1) {
         // Inline fast path: no chunking, no synchronization.
         in_parallel_region = true;
+        obs::trace::trace_span span{"pool.task"};
+        uint64_t executed = 0;
+        const auto flush = [&] {
+            span.set_arg(executed);
+            counters_[0]->tasks.fetch_add(executed,
+                                          std::memory_order_relaxed);
+            static const auto task_metric =
+                obs::register_metric("pool.tasks");
+            task_metric.add(executed);
+            in_parallel_region = false;
+        };
         try {
             for (size_t i = begin; i < end; ++i) {
                 fault_injection::fire(fault_site::worker_task);
                 body(i, 0);
+                ++executed;
             }
         } catch (...) {
-            in_parallel_region = false;
+            flush();
             throw;
         }
-        in_parallel_region = false;
+        flush();
         return;
     }
 

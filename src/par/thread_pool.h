@@ -77,6 +77,18 @@ public:
 
     uint32_t num_workers() const { return num_workers_; }
 
+    /// Cumulative per-worker execution counters.  `tasks` counts body
+    /// indices executed by the worker (so the sum over workers equals the
+    /// index count of every completed parallel_for), `steals` counts
+    /// chunks taken from another worker's deque, `idle` counts times the
+    /// worker ran dry (a full steal sweep found nothing).
+    struct worker_stats {
+        uint64_t tasks = 0;
+        uint64_t steals = 0;
+        uint64_t idle = 0;
+    };
+    worker_stats stats(uint32_t worker) const;
+
     /// Invoke `body(index, worker)` exactly once for every index in
     /// [begin, end), with worker in [0, num_workers()).  Blocks until all
     /// indices are done; rethrows the first body exception.  Indices are
@@ -92,9 +104,17 @@ private:
     void worker_loop(uint32_t worker);
     void run_job(uint32_t worker);
 
+    /// One padded cell per worker so counting never shares a cache line.
+    struct alignas(64) counter_cell {
+        std::atomic<uint64_t> tasks{0};
+        std::atomic<uint64_t> steals{0};
+        std::atomic<uint64_t> idle{0};
+    };
+
     uint32_t num_workers_;
     std::vector<std::thread> threads_;
     std::vector<std::unique_ptr<work_deque>> deques_;
+    std::vector<std::unique_ptr<counter_cell>> counters_;
 
     // Current job (valid while job_active_); workers re-check under
     // mutex_ on wake-up.

@@ -1,6 +1,8 @@
 #include "sat/solver.h"
 
 #include "core/fault_inject.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -10,6 +12,39 @@ namespace mcx::sat {
 
 namespace {
 constexpr uint32_t heap_npos = ~uint32_t{0};
+
+/// Covers every exit of solve(): a "sat.solve" span (arg = conflicts this
+/// call) and registry deltas of the per-solver stats.  Instance stats stay
+/// the per-solver source of truth; the registry aggregates across solvers.
+class solve_observer {
+public:
+    explicit solve_observer(const solver_stats& stats)
+        : stats_{stats}, at_entry_{stats}, span_{"sat.solve"}
+    {
+    }
+
+    ~solve_observer()
+    {
+        static const auto solves = obs::register_metric("sat.solves");
+        static const auto conflicts = obs::register_metric("sat.conflicts");
+        static const auto decisions = obs::register_metric("sat.decisions");
+        static const auto propagations =
+            obs::register_metric("sat.propagations");
+        static const auto restarts = obs::register_metric("sat.restarts");
+        solves.add();
+        conflicts.add(stats_.conflicts - at_entry_.conflicts);
+        decisions.add(stats_.decisions - at_entry_.decisions);
+        propagations.add(stats_.propagations - at_entry_.propagations);
+        restarts.add(stats_.restarts - at_entry_.restarts);
+        span_.set_arg(stats_.conflicts - at_entry_.conflicts);
+    }
+
+private:
+    const solver_stats& stats_;
+    solver_stats at_entry_;
+    obs::trace::trace_span span_;
+};
+
 } // namespace
 
 solver::solver() = default;
@@ -433,6 +468,7 @@ solve_result solver::solve(std::span<const literal> assumptions,
         return solve_result::undecided;
     }
 
+    const solve_observer observe{stats_};
     failed_assumptions_.clear();
     backtrack(0);
     if (unsat_)

@@ -102,6 +102,10 @@ public:
         size_t capacity = lru_cache<int, int>::default_capacity)
         : params_{params}, cache_{capacity}
     {
+        // Every instance (including per-worker shards) aggregates into the
+        // same process-wide counters.
+        cache_.set_metrics(obs::register_metric("cache.cls.hit"),
+                           obs::register_metric("cache.cls.miss"));
     }
 
     /// Reference valid until the entry is evicted (callers consume it

@@ -121,6 +121,31 @@ TEST(thread_pool, single_worker_runs_inline)
     EXPECT_EQ(visited, 10u);
 }
 
+TEST(thread_pool, worker_task_counts_sum_to_index_count)
+{
+    for (const uint32_t workers : {1u, 4u}) {
+        thread_pool pool{workers};
+        const auto total_tasks = [&] {
+            uint64_t sum = 0;
+            for (uint32_t w = 0; w < pool.num_workers(); ++w)
+                sum += pool.stats(w).tasks;
+            return sum;
+        };
+        const uint64_t before = total_tasks();
+        constexpr size_t n = 4'321;
+        std::atomic<size_t> done{0};
+        pool.parallel_for(
+            0, n,
+            [&](size_t, uint32_t) {
+                done.fetch_add(1, std::memory_order_relaxed);
+            },
+            /*grain=*/3);
+        ASSERT_EQ(done.load(), n);
+        // Every body index executed is attributed to exactly one worker.
+        EXPECT_EQ(total_tasks() - before, n) << workers << " workers";
+    }
+}
+
 TEST(thread_pool, exceptions_propagate_and_pool_survives)
 {
     for (const uint32_t workers : {1u, 4u}) {

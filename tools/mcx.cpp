@@ -34,16 +34,23 @@
 #include "io/bench.h"
 #include "io/bristol.h"
 #include "io/verilog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sat/equivalence.h"
 #include "xag/cleanup.h"
 #include "xag/depth.h"
 #include "xag/verify.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -205,6 +212,16 @@ void write_report(const std::string& path, const std::string& input,
         std::fprintf(f, ", ");
         json_xag_stats(f, "after", p.after);
         std::fprintf(f, ", \"converged\": %s", p.converged ? "true" : "false");
+        if (p.pass_name == "mc-rewrite" || p.pass_name == "size-rewrite")
+            std::fprintf(
+                f,
+                ", \"db\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"entries\": %llu, \"exact\": %llu, \"heuristic\": %llu}",
+                static_cast<unsigned long long>(p.db_hits),
+                static_cast<unsigned long long>(p.db_misses),
+                static_cast<unsigned long long>(p.db_entries),
+                static_cast<unsigned long long>(p.db_exact),
+                static_cast<unsigned long long>(p.db_heuristic));
         if (p.pass_name == "xor-resynthesis")
             std::fprintf(f, ", \"blocks\": %u, \"pairs_extracted\": %u",
                          p.xor_blocks, p.xor_pairs_extracted);
@@ -249,6 +266,21 @@ void write_report(const std::string& path, const std::string& input,
         std::fprintf(f, "}%s\n", i + 1 < result.passes.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    // Registry totals and process stats (docs/observability.md): every
+    // counter any subsystem registered, merged across threads.
+    const auto metrics = obs::metrics_snapshot();
+    std::fprintf(f, "  \"metrics\": {");
+    for (size_t i = 0; i < metrics.size(); ++i)
+        std::fprintf(f, "%s\n    \"%s\": %llu", i != 0 ? "," : "",
+                     metrics[i].name.c_str(),
+                     static_cast<unsigned long long>(metrics[i].value));
+    std::fprintf(f, "\n  },\n");
+    const auto process = obs::read_process_stats();
+    std::fprintf(f,
+                 "  \"process\": {\"peak_rss_bytes\": %llu, "
+                 "\"cpu_seconds\": %.4f, \"wall_seconds\": %.4f},\n",
+                 static_cast<unsigned long long>(process.peak_rss_bytes),
+                 process.cpu_seconds, process.wall_seconds);
     std::fprintf(f, "  \"verified\": %s,\n  \"verify_method\": \"%s\"",
                  verified ? "true" : "false", verify_method.c_str());
     if (!verify_checks.empty()) {
@@ -270,6 +302,71 @@ void write_report(const std::string& path, const std::string& input,
     std::fprintf(f, "\n}\n");
     std::fclose(f);
 }
+
+// --------------------------------------------------------------- progress
+
+/// Opt-in --progress heartbeat: a background thread samples the obs
+/// registry and progress state every ~500 ms and prints one line to
+/// stderr.  It only ever reads (relaxed counters, published pass/round),
+/// so it cannot perturb the optimization or the report; stdout stays
+/// untouched.
+class progress_reporter {
+public:
+    progress_reporter(bool enabled, double deadline_seconds)
+        : deadline_seconds_{deadline_seconds}
+    {
+        if (enabled)
+            thread_ = std::thread{[this] { loop(); }};
+    }
+
+    ~progress_reporter()
+    {
+        {
+            std::lock_guard lock{mutex_};
+            stop_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+private:
+    void loop()
+    {
+        const auto start = std::chrono::steady_clock::now();
+        const auto evaluated =
+            obs::register_metric("rewrite.nodes_evaluated");
+        const auto mc_miss = obs::register_metric("db.mc.miss");
+        const auto size_miss = obs::register_metric("db.size.miss");
+        std::unique_lock lock{mutex_};
+        while (!cv_.wait_for(lock, std::chrono::milliseconds{500},
+                             [this] { return stop_; })) {
+            const auto [pass, round] = obs::progress_state();
+            const auto elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            char deadline[32] = "";
+            if (deadline_seconds_ > 0.0)
+                std::snprintf(deadline, sizeof deadline, "/%.0fs",
+                              deadline_seconds_);
+            std::fprintf(stderr,
+                         "progress: pass=%s round=%u evaluated=%llu "
+                         "db_misses=%llu elapsed=%.1fs%s\n",
+                         pass != nullptr ? pass : "-", round,
+                         static_cast<unsigned long long>(evaluated.value()),
+                         static_cast<unsigned long long>(mc_miss.value() +
+                                                         size_miss.value()),
+                         elapsed, deadline);
+        }
+    }
+
+    double deadline_seconds_;
+    bool stop_ = false;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::thread thread_;
+};
 
 // -------------------------------------------------------------------- CLI
 
@@ -336,6 +433,15 @@ void usage(FILE* out)
         "  --report <file>         per-pass JSON report (see docs/artifacts.md)\n"
         "  --seed <n>              random-simulation seed (default 1)\n"
         "\n"
+        "observability (docs/observability.md):\n"
+        "  --trace <file>          Chrome trace-event JSON of the run — load\n"
+        "                          in Perfetto or chrome://tracing; one lane\n"
+        "                          per worker.  Tracing never changes the\n"
+        "                          optimized output\n"
+        "  --progress              periodic progress line on stderr (pass,\n"
+        "                          round, nodes evaluated, db misses,\n"
+        "                          elapsed/deadline)\n"
+        "\n"
         "info:\n"
         "  --list-gens             list built-in generators\n"
         "  --list-flows            list pass names\n"
@@ -350,10 +456,12 @@ struct options {
     std::string input;
     std::string output;
     std::string report;
+    std::string trace_path;
     std::string flow_spec = "mc";
     std::string verify = "sim";
     bool bristol = false;
     bool iterate = false;
+    bool progress = false;
     bool fail_on_limit = false; ///< --on-limit fail
     double deadline_seconds = 0.0;
     double pass_deadline_seconds = 0.0;
@@ -508,6 +616,10 @@ int main(int argc, char** argv)
             opt.verify = next();
         else if (arg == "--report")
             opt.report = next();
+        else if (arg == "--trace")
+            opt.trace_path = next();
+        else if (arg == "--progress")
+            opt.progress = true;
         else if (arg == "--seed")
             opt.seed = next_number();
         else if (arg == "--list-gens") {
@@ -595,8 +707,18 @@ int main(int argc, char** argv)
                     net.num_ands(), net.num_xors(), and_depth(net));
 
         // --------------------------------------------------------- run flow
+        // Tracing covers the flow and the verification below (SAT solves
+        // included); it observes only, so the optimized network is
+        // byte-identical with or without it (tests/obs_test.cpp).
+        if (!opt.trace_path.empty())
+            obs::trace::enable();
         pass_context ctx{context_params(opt.params)};
-        const auto result = run_flow(net, f, ctx);
+        flow_result result;
+        {
+            const progress_reporter reporter{opt.progress,
+                                             opt.deadline_seconds};
+            result = run_flow(net, f, ctx);
+        }
         if (result.limit_hit)
             std::fprintf(stderr,
                          "note: limit hit (%s); the emitted network is the "
@@ -653,6 +775,23 @@ int main(int argc, char** argv)
             return exit_usage;
         }
 
+        if (!opt.trace_path.empty()) {
+            // All parallel work has joined (the pool is idle between
+            // jobs), so the rings are quiescent and safe to drain.
+            obs::trace::disable();
+            std::ofstream trace_os{opt.trace_path};
+            if (!trace_os) {
+                std::fprintf(stderr, "error: cannot write trace %s\n",
+                             opt.trace_path.c_str());
+            } else {
+                obs::trace::write_chrome_trace(trace_os,
+                                               obs::trace::collect());
+                std::printf("wrote trace %s (%llu events dropped)\n",
+                            opt.trace_path.c_str(),
+                            static_cast<unsigned long long>(
+                                obs::trace::dropped()));
+            }
+        }
         if (!opt.report.empty())
             write_report(opt.report, opt.input, result, verified, method,
                          verify_checks);
