@@ -16,6 +16,7 @@
 #include "core/rewrite.h"
 #include "cut/cut_enumeration.h"
 #include "sat/equivalence.h"
+#include "sat/solver.h"
 #include "exact/exact_mc.h"
 #include "gen/arithmetic.h"
 #include "io/bench.h"
@@ -213,6 +214,105 @@ int main()
     run_bench("exact/mc_maj3", 1, [&] {
         g_sink += exact_mc_synthesis(truth_table{3, 0xe8}).num_ands;
     });
+
+    // ------------------------------------ SAT core, modern vs legacy (A/B)
+    // Seeded hard instances solved on both CDCL engines: a pigeonhole
+    // formula (9 pigeons, 8 holes — a classic resolution-hard UNSAT) as
+    // raw clauses, plus a full exact-MC synthesis of a 5-input function
+    // whose optimality ladder emits the solver's real workload (UNSAT
+    // proofs at infeasible k).  The modern core (arena storage, LBD-tiered
+    // retention, EMA restarts, bounded preprocessing) must clear the
+    // batch >= 2x faster than the retained legacy oracle; CI gates on the
+    // aggregate so no single instance's variance decides the verdict.
+    double satcore_modern_s = 1e300, satcore_legacy_s = 1e300;
+    {
+        using clock = std::chrono::steady_clock;
+        const auto solve_php9 = [](sat::sat_engine engine) {
+            constexpr int pigeons = 9, holes = 8;
+            sat::solver s{
+                sat::sat_params{.engine = engine, .preprocess = true}};
+            std::vector<std::vector<sat::literal>> var(pigeons);
+            for (int p = 0; p < pigeons; ++p)
+                for (int h = 0; h < holes; ++h)
+                    var[p].push_back(sat::literal{s.add_variable(), false});
+            for (int p = 0; p < pigeons; ++p)
+                s.add_clause(var[p]);
+            for (int h = 0; h < holes; ++h)
+                for (int p1 = 0; p1 < pigeons; ++p1)
+                    for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+                        s.add_clause({~var[p1][h], ~var[p2][h]});
+            return s.solve() == sat::solve_result::unsatisfiable;
+        };
+        // MC-4 under the exact encoding: k = 0..3 are hard UNSAT rounds.
+        const truth_table hard5{5, 0x206967ce};
+        for (int sample = 0; sample < 2; ++sample) {
+            for (const auto engine :
+                 {sat::sat_engine::modern, sat::sat_engine::legacy}) {
+                const auto start = clock::now();
+                const bool unsat = solve_php9(engine);
+                const auto r =
+                    exact_mc_synthesis(hard5, {.engine = engine});
+                const double s =
+                    std::chrono::duration<double>(clock::now() - start)
+                        .count();
+                if (!unsat || r.num_ands != 4) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s engine broke a sat_core verdict "
+                                 "(php9 unsat %d, mc %u != 4)\n",
+                                 sat::engine_name(engine), unsat ? 1 : 0,
+                                 r.num_ands);
+                    return 1;
+                }
+                auto& best = engine == sat::sat_engine::modern
+                                 ? satcore_modern_s
+                                 : satcore_legacy_s;
+                best = std::min(best, s);
+            }
+        }
+    }
+    const double satcore_speedup = satcore_legacy_s / satcore_modern_s;
+    std::printf("\nsat core (php9 + exact-MC 5-input encoding):\n");
+    std::printf("  modern engine             %8.4f s\n", satcore_modern_s);
+    std::printf("  legacy engine             %8.4f s\n", satcore_legacy_s);
+    std::printf("%-34s %12.2f x\n", "sat_core/speedup", satcore_speedup);
+
+    // ------------------------------------- harder exact synthesis (gated)
+    // A 5-input database miss — the workload the sharded-store and the
+    // ROADMAP's offline 4/5-input precompute pay for.  Timed on both
+    // engines; the modern core must be >= 2x faster here too (this
+    // function's ladder is short but its UNSAT rounds are dense, a
+    // different profile from the sat_core batch).
+    double exact5_modern_s = 1e300, exact5_legacy_s = 1e300;
+    {
+        using clock = std::chrono::steady_clock;
+        const truth_table miss5{5, 0xd9ff7cf6};
+        for (int sample = 0; sample < 3; ++sample) {
+            for (const auto engine :
+                 {sat::sat_engine::modern, sat::sat_engine::legacy}) {
+                const auto start = clock::now();
+                const auto r = exact_mc_synthesis(miss5, {.engine = engine});
+                const double s =
+                    std::chrono::duration<double>(clock::now() - start)
+                        .count();
+                if (r.num_ands != 3) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s engine found mc %u != 3 on the "
+                                 "5-input miss\n",
+                                 sat::engine_name(engine), r.num_ands);
+                    return 1;
+                }
+                auto& best = engine == sat::sat_engine::modern
+                                 ? exact5_modern_s
+                                 : exact5_legacy_s;
+                best = std::min(best, s);
+            }
+        }
+    }
+    const double exact5_speedup = exact5_legacy_s / exact5_modern_s;
+    std::printf("\nexact synthesis, 5-input miss (0xd9ff7cf6):\n");
+    std::printf("  modern engine             %8.4f s\n", exact5_modern_s);
+    std::printf("  legacy engine             %8.4f s\n", exact5_legacy_s);
+    std::printf("%-34s %12.2f x\n", "exact_hard5/speedup", exact5_speedup);
 
     // ------------------------------------- full round with stage breakdown
     auto net = gen_adder(64);
@@ -654,8 +754,11 @@ int main()
                  classify4_speedup, flow_speedup);
     if (!par_skipped)
         std::fprintf(json, ", \"parallel_round\": %.2f", par_speedup);
-    std::fprintf(json, ", \"incremental_work\": %.2f, \"warm_cec\": %.2f},\n",
-                 inc_work_ratio, cec_speedup);
+    std::fprintf(json,
+                 ", \"incremental_work\": %.2f, \"warm_cec\": %.2f, "
+                 "\"sat_core\": %.2f, \"exact_hard5\": %.2f},\n",
+                 inc_work_ratio, cec_speedup, satcore_speedup,
+                 exact5_speedup);
     std::fprintf(json,
                  "  \"flow_round\": {\"workload\": \"adder64\", "
                  "\"batched_seconds\": %.4f, \"unbatched_seconds\": %.4f},\n",
@@ -734,6 +837,18 @@ int main()
                  static_cast<unsigned long long>(cec_rebuilds),
                  static_cast<unsigned long long>(cec_reuses), cec_cold_s,
                  cec_warm_s, cec_speedup);
+    std::fprintf(json,
+                 "  \"sat_core\": {\"workload\": \"php9 + exact-MC 5-input "
+                 "encoding\", \"modern_seconds\": %.4f, "
+                 "\"legacy_seconds\": %.4f, \"speedup\": %.2f, "
+                 "\"gated\": true},\n",
+                 satcore_modern_s, satcore_legacy_s, satcore_speedup);
+    std::fprintf(json,
+                 "  \"exact_hard5\": {\"workload\": \"5-input miss "
+                 "0xd9ff7cf6\", \"modern_seconds\": %.4f, "
+                 "\"legacy_seconds\": %.4f, \"speedup\": %.2f, "
+                 "\"gated\": true},\n",
+                 exact5_modern_s, exact5_legacy_s, exact5_speedup);
     std::fprintf(json, "  \"sink\": %llu\n}\n",
                  static_cast<unsigned long long>(g_sink));
     std::fclose(json);
@@ -795,6 +910,16 @@ int main()
                      obs_ratio, obs_on_s, obs_off_s);
         return 1;
     }
+    // The modern CDCL core must earn its complexity on the solver-bound
+    // workloads: >= 2x over the legacy oracle on the hard-instance batch
+    // and on the 5-input exact-synthesis miss (docs/sat.md).
+    if (satcore_speedup < 2.0 || exact5_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: modern SAT core speedup below 2x (sat_core "
+                     "%.2fx, exact_hard5 %.2fx vs legacy)\n",
+                     satcore_speedup, exact5_speedup);
+        return 1;
+    }
     // The warm incremental CEC must beat fresh whole-network miters over
     // the iterated-flow verification sequence.
     if (cec_speedup < 2.0) {
@@ -821,5 +946,8 @@ int main()
                 eval_gated ? "" : " [recorded, not gated]", cec_speedup);
     std::printf("observability gate passed (overhead %.3fx <= 1.03x)\n",
                 obs_ratio);
+    std::printf("sat core gates passed (sat_core %.1fx >= 2x, exact_hard5 "
+                "%.1fx >= 2x vs legacy)\n",
+                satcore_speedup, exact5_speedup);
     return 0;
 }

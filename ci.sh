@@ -78,6 +78,33 @@ grep -q '"sat_conflicts"' FLOW_smoke_sat.json || {
     exit 1
 }
 
+# SAT-engine smoke (docs/sat.md): the retained legacy CDCL core must
+# reach the same verified AND count as the modern default through the
+# whole flow (both exit 0 only when equivalence holds; the synthesized
+# structures may differ — exact-synthesis models are not unique — so the
+# comparison is on the optimality claim, not bytes).  The report records
+# which engine ran.  The cold whole-network miter — the verify path that
+# exercises the modern core's preprocessor — must be byte-invisible next
+# to the default simulation check.
+./build/tools/mcx --flow mc+xor --sat-engine legacy gen:adder:16 \
+    -o build/adder16_legacy.bench --report FLOW_smoke_satlegacy.json
+python3 - FLOW_smoke_gen.json FLOW_smoke_satlegacy.json <<'PY'
+import json, sys
+modern, legacy = (json.load(open(p)) for p in sys.argv[1:3])
+assert modern["sat_engine"] == "modern", modern["sat_engine"]
+assert legacy["sat_engine"] == "legacy", legacy["sat_engine"]
+for rep in (modern, legacy):
+    assert rep["verified"], f'{rep["sat_engine"]} flow failed verification'
+ma, la = modern["after"]["ands"], legacy["after"]["ands"]
+assert ma == la, f"engine-dependent AND count: modern {ma} vs legacy {la}"
+PY
+./build/tools/mcx --flow mc+xor --verify sat-cold gen:adder:16 \
+    -o build/adder16_satcold.bench
+cmp build/adder16_opt.bench build/adder16_satcold.bench || {
+    echo "ci.sh: --verify sat-cold run output differs from the default" >&2
+    exit 1
+}
+
 # Parallel flow smoke: the two-phase engine at 4 workers must verify and
 # produce output bit-identical to its 1-worker reference run
 # (docs/parallel.md determinism contract).
@@ -223,6 +250,7 @@ help_text=$(./build/tools/mcx --help)
 for flag in --flow --iterate --rounds --cut-size --cut-limit --zero-gain \
             --verify --report --seed --no-batch --classify-baseline \
             --incremental-cuts --incremental-eval --sat-commits \
+            --sat-engine \
             --deadline --pass-deadline --on-limit \
             --trace --progress \
             --threads --bristol --output --list-gens --list-flows; do
@@ -290,7 +318,19 @@ cmake --build build-tsan -j"$(nproc)" --target par_test pass_test \
     GTEST_FILTER='robustness.stopped_token_unblocks_waiter_on_stuck_builder:robustness.fault_matrix_verified_network_or_typed_error' \
         ctest -R robustness_test --output-on-failure)
 
+# Address+UB sanitizer job over the SAT core: the arena with its
+# relocation GC, the binary-watcher encoding, and the preprocessor's
+# clause surgery are exactly the kind of raw-index pointer arithmetic
+# ASan exists for.  The full sat_test suite — both engines, the
+# differential fuzz, preprocessing units — runs under ASan+UBSan.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=undefined" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j"$(nproc)" --target sat_test
+(cd build-asan && ctest -R sat_test --output-on-failure)
+
 echo "ci.sh: all gates passed (JSON artifacts: BENCH_micro_core.json," \
      "FLOW_smoke_gen.json, FLOW_smoke_bench.json, FLOW_smoke_par.json," \
-     "FLOW_smoke_sat.json, FLOW_smoke_deadline.json, FLOW_smoke_sigint.json," \
+     "FLOW_smoke_sat.json, FLOW_smoke_satlegacy.json," \
+     "FLOW_smoke_deadline.json, FLOW_smoke_sigint.json," \
      "FLOW_smoke_fault.json, FLOW_smoke_progress.json)"

@@ -357,20 +357,55 @@ xor_resynthesis_stats xor_resynthesis(xag& network,
         }
     }
     if (params.pool != nullptr && narrow_rows.size() > 1) {
-        // Per-worker count maps over a work-stealing partition of the
-        // rows, merged into the shared map afterwards.  Per-pair sums are
-        // schedule-independent, and the heap is seeded once per pair at
-        // its final count — the heap's valid-tuple set (count, key) is
-        // exactly the sequential path's, so extraction pops the same pairs
-        // in the same order (stale lower-count entries, which only the
-        // sequential path carries, are discarded by the staleness check).
+        // Per-worker count maps over a work-stealing partition of (row,
+        // outer-index-range) chunks, merged into the shared map afterwards.
+        // Chunking the outer index of the quadratic per-row loop means one
+        // very wide admitted row (a hash accumulator row can dominate the
+        // whole Σwidth² budget) spreads across the team instead of
+        // serializing on one worker.  Per-pair sums are schedule-
+        // independent, and the heap is seeded once per pair at its final
+        // count — the heap's valid-tuple set (count, key) is exactly the
+        // sequential path's, so extraction pops the same pairs in the same
+        // order (stale lower-count entries, which only the sequential path
+        // carries, are discarded by the staleness check).
+        struct seed_chunk {
+            uint32_t row;            ///< index into narrow_rows
+            uint32_t begin, end;     ///< outer-index range [begin, end)
+        };
+        uint64_t total_pairs = 0;
+        for (const auto r : narrow_rows) {
+            const auto w = static_cast<uint64_t>(rows[r].terms.size());
+            total_pairs += w * (w - 1) / 2;
+        }
+        // ~8 chunks per worker smooths the work-stealing partition; the
+        // floor keeps per-chunk map overhead negligible for small rounds.
+        const uint64_t chunk_target = std::max<uint64_t>(
+            4096, total_pairs / (uint64_t{8} * seed_workers + 1));
+        std::vector<seed_chunk> chunks;
+        for (uint32_t i = 0; i < narrow_rows.size(); ++i) {
+            const auto w =
+                static_cast<uint32_t>(rows[narrow_rows[i]].terms.size());
+            uint32_t begin = 0;
+            uint64_t acc = 0;
+            for (uint32_t a = 0; a + 1 < w; ++a) {
+                acc += w - a - 1; // pairs contributed by outer index a
+                if (acc >= chunk_target) {
+                    chunks.push_back({i, begin, a + 1});
+                    begin = a + 1;
+                    acc = 0;
+                }
+            }
+            if (begin + 1 < w)
+                chunks.push_back({i, begin, w - 1});
+        }
         std::vector<std::unordered_map<term_pair, uint32_t, pair_hash>>
             local(seed_workers);
         params.pool->parallel_for(
-            0, narrow_rows.size(), [&](size_t i, uint32_t worker) {
-                const auto& t = rows[narrow_rows[i]].terms;
+            0, chunks.size(), [&](size_t i, uint32_t worker) {
+                const auto& chunk = chunks[i];
+                const auto& t = rows[narrow_rows[chunk.row]].terms;
                 auto& counts = local[worker];
-                for (size_t a = 0; a < t.size(); ++a)
+                for (size_t a = chunk.begin; a < chunk.end; ++a)
                     for (size_t b = a + 1; b < t.size(); ++b)
                         ++counts[ordered(dense_of[t[a]], dense_of[t[b]])];
             });

@@ -164,7 +164,9 @@ exact_mc_result exact_mc_synthesis(const truth_table& f,
             result.status = params.token.stop_reason();
             return result;
         }
-        solver s;
+        // One encoding, one solve: the bounded preprocessor is sound here
+        // and shrinks the parity-chain CNF before search.
+        solver s{sat::sat_params{.engine = params.engine, .preprocess = true}};
         const auto enc = build_encoding(s, f, k);
         switch (s.solve(params.conflict_budget, params.token)) {
         case solve_result::satisfiable: {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "core/budget.h"
+#include "sat/types.h"
 #include "tt/truth_table.h"
 #include "xag/xag.h"
 
@@ -25,6 +26,8 @@ struct exact_mc_params {
     uint32_t max_ands = 7;           ///< give up beyond this many AND gates
     uint64_t conflict_budget = 200'000; ///< per k-step; 0 = unlimited
     cancellation_token token;        ///< cooperative stop (checked per conflict)
+    /// CDCL engine for the per-k solvers (`automatic` = process default).
+    sat::sat_engine engine = sat::sat_engine::automatic;
 };
 
 struct exact_mc_result {

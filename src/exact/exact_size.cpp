@@ -199,7 +199,9 @@ exact_size_result exact_size_synthesis(const truth_table& f,
             result.status = params.token.stop_reason();
             return result;
         }
-        solver s;
+        // One encoding, one solve: the bounded preprocessor is sound here
+        // (see exact_mc.cpp).
+        solver s{sat::sat_params{.engine = params.engine, .preprocess = true}};
         const auto enc = build_encoding(s, f, r);
         switch (s.solve(params.conflict_budget, params.token)) {
         case solve_result::satisfiable: {

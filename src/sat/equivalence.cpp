@@ -13,7 +13,11 @@ equivalence_report check_equivalence(const xag& a, const xag& b,
         throw std::invalid_argument{
             "check_equivalence: interface mismatch"};
 
-    solver s;
+    // A cold miter is built once and solved once: exactly the pattern the
+    // modern core's bounded preprocessor is sound for.  Warm sessions
+    // (incremental_cec, cone_verifier below) must NOT enable it — they
+    // keep adding clauses and solving under assumptions.
+    solver s{sat_params{.preprocess = true}};
     std::vector<literal> pis;
     pis.reserve(a.num_pis());
     for (uint32_t i = 0; i < a.num_pis(); ++i)

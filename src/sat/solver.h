@@ -1,57 +1,46 @@
-// A self-contained CDCL SAT solver: two-literal watching, VSIDS decision
-// heuristic with phase saving, first-UIP conflict learning, Luby restarts,
-// and activity-based learnt-clause reduction.
+// The SAT solver facade: one `sat::solver` API over two interchangeable
+// CDCL engines.
+//
+//   - modern (default): arena clause storage, inline binary-clause
+//     watchers, LBD-tiered learnt retention, LBD-EMA restarts, optional
+//     bounded preprocessing (src/sat/modern_solver.h)
+//   - legacy: the original solver, kept verbatim as the differential
+//     oracle (src/sat/legacy_solver.h), selectable per solver via
+//     `sat_params::engine` or process-wide via `mcx --sat-engine legacy`
+//
+// The facade also owns the cross-engine plumbing: the
+// `fault_site::sat_budget` injection point and the `sat.solve` span +
+// `sat.*` metrics mirrors, so both engines are observed identically.
 //
 // Substrate for exact multiplicative-complexity synthesis (src/exact) and
 // formal equivalence checking of optimized networks (src/sat/equivalence.h).
 #pragma once
 
 #include "core/budget.h"
+#include "sat/types.h"
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 namespace mcx::sat {
 
-/// A literal: variable index with sign bit in the LSB.
-class literal {
-public:
-    constexpr literal() = default;
-    constexpr literal(uint32_t var, bool negative)
-        : code_{(var << 1) | static_cast<uint32_t>(negative)} {}
-
-    constexpr uint32_t var() const { return code_ >> 1; }
-    constexpr bool negative() const { return (code_ & 1) != 0; }
-    constexpr uint32_t code() const { return code_; }
-    constexpr literal operator~() const
-    {
-        literal l;
-        l.code_ = code_ ^ 1;
-        return l;
-    }
-    constexpr bool operator==(const literal&) const = default;
-
-private:
-    uint32_t code_ = 0;
-};
-
-enum class solve_result : uint8_t { satisfiable, unsatisfiable, undecided };
-
-struct solver_stats {
-    uint64_t conflicts = 0;
-    uint64_t decisions = 0;
-    uint64_t propagations = 0;
-    uint64_t restarts = 0;
-    uint64_t learnt_removed = 0;
-};
+class legacy_solver;
+class modern_solver;
 
 class solver {
 public:
-    solver();
+    solver(sat_params params = {});
+    ~solver();
+    solver(solver&&) noexcept;
+    solver& operator=(solver&&) noexcept;
 
-    uint32_t num_vars() const { return static_cast<uint32_t>(assign_.size()); }
+    /// The engine actually backing this solver (never `automatic`).
+    sat_engine engine() const { return engine_; }
+
+    uint32_t num_vars() const;
 
     /// A fresh variable; returns its index.
     uint32_t add_variable();
@@ -91,93 +80,27 @@ public:
 
     /// Model value of a variable after a satisfiable solve.  Reads the
     /// snapshot taken at SAT time; valid until the next solve call.
-    bool model_value(uint32_t var) const { return model_[var] == 1; }
+    bool model_value(uint32_t var) const;
 
     /// After `solve(assumptions)` returns `unsatisfiable` with a non-empty
     /// assumption set: the subset of assumptions sufficient for the
     /// conflict (MiniSat's analyzeFinal).  Empty when the instance is
     /// UNSAT independent of the assumptions.
-    const std::vector<literal>& failed_assumptions() const
-    {
-        return failed_assumptions_;
-    }
+    const std::vector<literal>& failed_assumptions() const;
 
     /// Live learnt clauses of at most `max_len` literals — migration feed
     /// for a rebuilt solver (variable GC in src/sat/equivalence.cpp).
     std::vector<std::vector<literal>> export_learnt(size_t max_len) const;
 
-    const solver_stats& stats() const { return stats_; }
+    const solver_stats& stats() const;
 
     /// Instrumentation: invoked with every learnt clause (testing/debugging).
     std::function<void(std::span<const literal>)> on_learnt;
 
 private:
-    struct clause {
-        std::vector<literal> lits;
-        double activity = 0.0;
-        bool learnt = false;
-    };
-
-    struct watcher {
-        uint32_t clause_index;
-        literal blocker;
-    };
-
-    static constexpr uint32_t no_reason = ~uint32_t{0};
-
-    int8_t value_of(literal l) const
-    {
-        const auto v = assign_[l.var()];
-        return v < 0 ? int8_t{-1} : int8_t{(v == 1) != l.negative()};
-    }
-
-    void enqueue(literal l, uint32_t reason);
-    uint32_t propagate(); ///< returns conflicting clause index or no_reason
-    void analyze(uint32_t conflict, std::vector<literal>& learnt,
-                 uint32_t& backtrack_level);
-    void analyze_final(literal p); ///< fills failed_assumptions_
-    void backtrack(uint32_t level);
-    void attach_clause(uint32_t index);
-    uint32_t decision_level() const
-    {
-        return static_cast<uint32_t>(trail_lim_.size());
-    }
-    literal pick_branch();
-    void bump_var(uint32_t var);
-    void decay_var_activity() { var_inc_ /= 0.95; }
-    void bump_clause(clause& c);
-    void reduce_learnts();
-    static uint64_t luby(uint64_t i);
-
-    // heap of variables ordered by activity
-    void heap_insert(uint32_t var);
-    void heap_percolate_up(uint32_t pos);
-    void heap_percolate_down(uint32_t pos);
-    uint32_t heap_pop();
-
-    std::vector<clause> clauses_;
-    std::vector<uint32_t> learnt_indices_;
-    std::vector<std::vector<watcher>> watches_; ///< indexed by literal code
-    std::vector<int8_t> assign_;                ///< -1 / 0 / 1 per variable
-    std::vector<uint32_t> level_;
-    std::vector<uint32_t> reason_;
-    std::vector<literal> trail_;
-    std::vector<uint32_t> trail_lim_;
-    size_t qhead_ = 0;
-
-    std::vector<double> activity_;
-    std::vector<uint32_t> heap_;     ///< binary max-heap of variables
-    std::vector<uint32_t> heap_pos_; ///< position in heap_, or npos
-    std::vector<int8_t> saved_phase_;
-    double var_inc_ = 1.0;
-    double clause_inc_ = 1.0;
-
-    bool unsat_ = false;
-    solver_stats stats_;
-    std::vector<uint8_t> seen_;      ///< scratch for analyze()
-    std::vector<literal> to_clear_;  ///< marks to reset after analyze()
-    std::vector<int8_t> model_;      ///< snapshot of assign_ at SAT time
-    std::vector<literal> failed_assumptions_;
+    sat_engine engine_;
+    std::unique_ptr<modern_solver> modern_;
+    std::unique_ptr<legacy_solver> legacy_;
 };
 
 } // namespace mcx::sat

@@ -544,5 +544,254 @@ TEST(cone_verifier_check, undecided_on_injected_budget_exhaustion)
               equivalence_result::equivalent);
 }
 
+// --------------------------------------- modern-vs-legacy differential
+
+namespace {
+
+/// Random CNF with mixed clause lengths (units through 5-literal) so the
+/// binary watcher fast path, the arena long-clause path, and unit
+/// propagation at level 0 are all exercised.
+std::vector<std::vector<literal>> random_cnf(std::mt19937_64& rng,
+                                             uint32_t num_vars,
+                                             uint32_t num_clauses)
+{
+    std::vector<std::vector<literal>> clauses;
+    for (uint32_t c = 0; c < num_clauses; ++c) {
+        const uint32_t len = (rng() % 10 == 0) ? 1 : 2 + rng() % 4;
+        std::vector<literal> cl;
+        for (uint32_t k = 0; k < len; ++k)
+            cl.push_back(literal{static_cast<uint32_t>(rng() % num_vars),
+                                 (rng() & 1) != 0});
+        clauses.push_back(cl);
+    }
+    return clauses;
+}
+
+void expect_model_satisfies(const solver& s,
+                            const std::vector<std::vector<literal>>& clauses)
+{
+    for (const auto& cl : clauses) {
+        bool any = false;
+        for (const auto l : cl)
+            any |= s.model_value(l.var()) != l.negative();
+        EXPECT_TRUE(any) << engine_name(s.engine())
+                         << " model violates a clause";
+    }
+}
+
+solver build(sat_engine engine, bool preprocess, uint32_t num_vars,
+             const std::vector<std::vector<literal>>& clauses)
+{
+    solver s{sat_params{.engine = engine, .preprocess = preprocess}};
+    for (uint32_t v = 0; v < num_vars; ++v)
+        (void)s.add_variable();
+    for (const auto& cl : clauses)
+        s.add_clause(cl);
+    return s;
+}
+
+} // namespace
+
+// The modern core must be verdict-identical to the legacy engine on random
+// CNF across multi-call sequences with assumptions: same answers at every
+// step, models that satisfy clauses and assumptions, and failed-assumption
+// subsets that are independently unsatisfiable.
+class engine_differential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(engine_differential, assumption_sequences_agree_with_legacy)
+{
+    std::mt19937_64 rng{GetParam()};
+    const uint32_t num_vars = 12 + rng() % 16;
+    const uint32_t num_clauses = num_vars * 3 + rng() % (num_vars * 3);
+    const auto clauses = random_cnf(rng, num_vars, num_clauses);
+
+    auto modern = build(sat_engine::modern, false, num_vars, clauses);
+    auto legacy = build(sat_engine::legacy, false, num_vars, clauses);
+
+    // Three rounds: assumption-free, then two random assumption sets —
+    // exercising learnt retention between calls on both engines.
+    for (int round = 0; round < 3; ++round) {
+        std::vector<literal> assumptions;
+        if (round > 0)
+            for (uint32_t k = 0; k < 1 + rng() % 4; ++k)
+                assumptions.push_back(
+                    literal{static_cast<uint32_t>(rng() % num_vars),
+                            (rng() & 1) != 0});
+
+        const auto vm = modern.solve(assumptions);
+        const auto vl = legacy.solve(assumptions);
+        EXPECT_EQ(vm, vl) << "round " << round;
+
+        if (vm == solve_result::satisfiable) {
+            expect_model_satisfies(modern, clauses);
+            expect_model_satisfies(legacy, clauses);
+            for (const auto a : assumptions)
+                EXPECT_EQ(modern.model_value(a.var()), !a.negative());
+        } else if (vm == solve_result::unsatisfiable &&
+                   !assumptions.empty()) {
+            // The failed subset must come from the assumptions and be a
+            // sufficient reason: a fresh legacy solver with the subset as
+            // units must still be UNSAT.
+            const auto& failed = modern.failed_assumptions();
+            for (const auto f : failed)
+                EXPECT_TRUE(std::find(assumptions.begin(), assumptions.end(),
+                                      f) != assumptions.end());
+            auto oracle = build(sat_engine::legacy, false, num_vars, clauses);
+            for (const auto f : failed)
+                oracle.add_clause({f});
+            EXPECT_EQ(oracle.solve(), solve_result::unsatisfiable)
+                << "modern failed-assumption subset is not a reason";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, engine_differential,
+                         ::testing::Range<uint64_t>(1000, 1075));
+
+// Preprocessing (subsumption + bounded variable elimination) must not
+// change any verdict, and reconstructed models must satisfy the ORIGINAL
+// clauses — including those of eliminated variables.
+class preprocess_differential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(preprocess_differential, verdicts_and_models_agree_with_legacy)
+{
+    std::mt19937_64 rng{GetParam()};
+    const uint32_t num_vars = 15 + rng() % 25;
+    // A sub-critical ratio leaves many rarely-occurring variables, so
+    // bounded elimination actually fires on most seeds.
+    const uint32_t num_clauses = num_vars * 2 + rng() % (num_vars * 2);
+    const auto clauses = random_cnf(rng, num_vars, num_clauses);
+
+    auto modern = build(sat_engine::modern, true, num_vars, clauses);
+    auto legacy = build(sat_engine::legacy, false, num_vars, clauses);
+
+    const auto vl = legacy.solve();
+    // Two assumption-free solves: the second runs on the preprocessed DB.
+    for (int round = 0; round < 2; ++round) {
+        const auto vm = modern.solve();
+        EXPECT_EQ(vm, vl) << "round " << round;
+        if (vm == solve_result::satisfiable)
+            expect_model_satisfies(modern, clauses);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, preprocess_differential,
+                         ::testing::Range<uint64_t>(2000, 2050));
+
+// ------------------------------------------- preprocessing unit tests
+
+TEST(preprocessing, variable_elimination_reconstructs_models)
+{
+    // x (var 2) occurs in exactly two clauses, (x|a) and (~x|b): bounded
+    // elimination resolves them to (a|b) and drops x from the solver.  With
+    // (~a) forcing a false, the reconstructed model must set x true to
+    // satisfy the original clause (x|a), and b true via (~x|b).
+    solver s{sat_params{.preprocess = true}};
+    for (int v = 0; v < 3; ++v)
+        (void)s.add_variable();
+    const std::vector<std::vector<literal>> clauses = {
+        {pos(2), pos(0)}, {neg(2), pos(1)}, {neg(0)}};
+    for (const auto& cl : clauses)
+        s.add_clause(cl);
+    ASSERT_EQ(s.solve(), solve_result::satisfiable);
+    expect_model_satisfies(s, clauses);
+    EXPECT_FALSE(s.model_value(0));
+    EXPECT_TRUE(s.model_value(2));
+    EXPECT_TRUE(s.model_value(1));
+}
+
+TEST(preprocessing, pure_literal_elimination_reconstructs_models)
+{
+    // p (var 2) occurs only positively: it is eliminated as pure, and the
+    // reconstruction must still satisfy p's clauses in the reported model.
+    solver s{sat_params{.preprocess = true}};
+    for (int v = 0; v < 3; ++v)
+        (void)s.add_variable();
+    const std::vector<std::vector<literal>> clauses = {
+        {pos(2), pos(0)}, {pos(2), pos(1)}, {neg(0), neg(1)}};
+    for (const auto& cl : clauses)
+        s.add_clause(cl);
+    ASSERT_EQ(s.solve(), solve_result::satisfiable);
+    expect_model_satisfies(s, clauses);
+}
+
+TEST(preprocessing, chained_elimination_reconstructs_in_reverse_order)
+{
+    // A chain x0 -> x1 -> ... -> x5 where each link is two implications;
+    // every interior variable is eliminable, and reconstruction must
+    // replay the eliminations in reverse to satisfy the original chain.
+    constexpr uint32_t n = 6;
+    solver s{sat_params{.preprocess = true}};
+    for (uint32_t v = 0; v < n; ++v)
+        (void)s.add_variable();
+    std::vector<std::vector<literal>> clauses;
+    for (uint32_t v = 0; v + 1 < n; ++v) {
+        clauses.push_back({neg(v), pos(v + 1)}); // x_v -> x_{v+1}
+        clauses.push_back({pos(v), neg(v + 1)}); // x_{v+1} -> x_v
+    }
+    clauses.push_back({pos(0)});
+    for (const auto& cl : clauses)
+        s.add_clause(cl);
+    ASSERT_EQ(s.solve(), solve_result::satisfiable);
+    expect_model_satisfies(s, clauses);
+    for (uint32_t v = 0; v < n; ++v)
+        EXPECT_TRUE(s.model_value(v)) << "x" << v;
+}
+
+TEST(preprocessing, subsumption_preserves_unsat_cores)
+{
+    // The full binomial CNF over three variables is UNSAT; subsumption and
+    // self-subsuming resolution shrink it aggressively, and the verdict
+    // must survive the rewrite.
+    solver s{sat_params{.preprocess = true}};
+    for (int v = 0; v < 3; ++v)
+        (void)s.add_variable();
+    for (uint32_t m = 0; m < 8; ++m)
+        s.add_clause({literal{0, (m & 1) != 0}, literal{1, (m & 2) != 0},
+                      literal{2, (m & 4) != 0}});
+    EXPECT_EQ(s.solve(), solve_result::unsatisfiable);
+}
+
+TEST(preprocessing, eliminated_variable_contact_throws)
+{
+    // Var 0 (x) occurs once per polarity while every other variable is
+    // mixed-polarity, so bounded elimination resolves x away.  Assuming
+    // x or adding a clause over it afterwards would be unsound — the
+    // solver must refuse loudly rather than answer.
+    solver s{sat_params{.preprocess = true}};
+    for (int v = 0; v < 4; ++v)
+        (void)s.add_variable();
+    s.add_clause({pos(0), pos(1)}); // x | a
+    s.add_clause({neg(0), pos(2)}); // ~x | b
+    s.add_clause({pos(1), neg(3)});
+    s.add_clause({neg(1), pos(3)});
+    s.add_clause({pos(2), pos(3)});
+    s.add_clause({neg(2), neg(3)});
+    ASSERT_EQ(s.solve(), solve_result::satisfiable);
+    const std::vector<literal> assume_eliminated{pos(0)};
+    EXPECT_THROW((void)s.solve(assume_eliminated), std::logic_error);
+    EXPECT_THROW(s.add_clause({neg(0), neg(1)}), std::logic_error);
+}
+
+TEST(preprocessing, first_assumption_solve_disables_preprocessing)
+{
+    // Warm incremental users solve under assumptions from the start; the
+    // solver must notice and never eliminate variables, so assumptions on
+    // any variable keep working across the whole sequence.
+    solver s{sat_params{.preprocess = true}};
+    for (int v = 0; v < 3; ++v)
+        (void)s.add_variable();
+    s.add_clause({pos(2), pos(0)});
+    s.add_clause({neg(2), pos(1)});
+    const std::vector<literal> a1{pos(2)};
+    const std::vector<literal> a2{neg(2), pos(0)};
+    const std::vector<literal> a3{pos(2), neg(1)};
+    EXPECT_EQ(s.solve(a1), solve_result::satisfiable);
+    EXPECT_TRUE(s.model_value(1));
+    EXPECT_EQ(s.solve(a2), solve_result::satisfiable);
+    EXPECT_EQ(s.solve(), solve_result::satisfiable);
+    EXPECT_EQ(s.solve(a3), solve_result::unsatisfiable);
+}
+
 } // namespace
 } // namespace mcx::sat

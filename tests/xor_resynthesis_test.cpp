@@ -225,6 +225,67 @@ TEST(xor_resynthesis_pass, pool_seeding_is_deterministic)
     }
 }
 
+/// A few rows wide enough that one row's pair loop alone exceeds the
+/// seeding chunk floor (~4096 pairs), so the pool must split single rows
+/// across workers.  16 PIs give 120 distinct AND pairs; doubled variants
+/// push the distinct-term pool past the requested width.
+xag giant_row_network(uint32_t width, uint32_t num_rows)
+{
+    xag net;
+    std::vector<signal> pis;
+    for (int i = 0; i < 16; ++i)
+        pis.push_back(net.create_pi());
+    std::vector<signal> terms;
+    for (uint32_t i = 0; i < 16 && terms.size() < width + num_rows; ++i)
+        for (uint32_t j = i + 1; j < 16 && terms.size() < width + num_rows;
+             ++j) {
+            const auto t = net.create_and(pis[i] ^ (i & 1), pis[j]);
+            terms.push_back(t);
+            if (terms.size() < width + num_rows)
+                terms.push_back(net.create_and(t, pis[(i + j) % 16] ^ true));
+        }
+    std::mt19937_64 rng{19};
+    for (uint32_t r = 0; r < num_rows; ++r) {
+        std::vector<signal> row(terms.begin(), terms.begin() + width);
+        row.push_back(terms[width + r]);
+        std::shuffle(row.begin(), row.end(), rng);
+        auto acc = row[0];
+        for (size_t i = 1; i < row.size(); ++i)
+            acc = net.create_xor(acc, row[i]);
+        net.create_po(net.create_and(acc, pis[r % 16]));
+    }
+    return net;
+}
+
+TEST(xor_resynthesis_pass, pool_splits_single_wide_rows_deterministically)
+{
+    // 150-term rows carry 150·149/2 ≈ 11k pairs each — several seeding
+    // chunks — so a single row's quadratic loop is spread across workers
+    // rather than serializing on one.  Per-pair sums are schedule-
+    // independent, so the rebuilt network must stay byte-identical to the
+    // sequential pass at any worker count.
+    const auto serialize = [](const xag& n) {
+        std::ostringstream os;
+        write_bench(cleanup(n), os);
+        return os.str();
+    };
+    const auto source = giant_row_network(150, 3);
+    auto seq = source;
+    const auto stats_seq = xor_resynthesis(seq, {.pairing_work_budget = 0});
+    EXPECT_GE(stats_seq.widest_row_paired, 150u);
+    const auto oracle = serialize(seq);
+    for (const uint32_t workers : {1u, 4u}) {
+        thread_pool pool{workers};
+        auto par = source;
+        const auto stats = xor_resynthesis(
+            par, {.pairing_work_budget = 0, .pool = &pool});
+        par.check_integrity();
+        EXPECT_EQ(serialize(par), oracle) << workers << " workers";
+        EXPECT_EQ(stats.seed_workers, workers);
+        EXPECT_GE(stats.widest_row_paired, 150u) << workers << " workers";
+    }
+}
+
 TEST(xor_resynthesis_pass, pool_scales_the_admission_budget)
 {
     // The work budget is per worker: a W-worker pool admits rows until

@@ -191,6 +191,8 @@ void write_report(const std::string& path, const std::string& input,
     }
     std::fprintf(f, "{\n  \"tool\": \"mcx\",\n  \"flow\": \"%s\",\n",
                  result.flow_name.c_str());
+    std::fprintf(f, "  \"sat_engine\": \"%s\",\n",
+                 sat::engine_name(sat::default_engine()));
     std::fprintf(f, "  \"input\": \"%s\",\n", json_escape(input).c_str());
     std::fprintf(f, "  ");
     json_xag_stats(f, "before", result.before);
@@ -409,6 +411,11 @@ void usage(FILE* out)
         "  --sat-commits <m>       on | off (default): SAT-check every\n"
         "                          replacement cone at commit time on a warm\n"
         "                          persistent solver (docs/robustness.md)\n"
+        "  --sat-engine <e>        modern (default) | legacy: CDCL core for\n"
+        "                          every SAT consumer — exact synthesis,\n"
+        "                          equivalence checking, commit verification\n"
+        "                          (docs/sat.md; verdicts and AND counts are\n"
+        "                          engine-independent)\n"
         "\n"
         "resource limits (docs/robustness.md):\n"
         "  --deadline <sec>        wall-clock budget for the whole flow; on\n"
@@ -598,6 +605,17 @@ int main(int argc, char** argv)
             }
             opt.params.rewrite.sat_verify_commits = mode == "on";
             opt.params.size_rewrite.sat_verify_commits = mode == "on";
+        } else if (arg == "--sat-engine") {
+            const std::string mode = next();
+            if (mode != "modern" && mode != "legacy") {
+                std::fprintf(stderr,
+                             "error: --sat-engine needs modern|legacy, got "
+                             "'%s'\n",
+                             mode.c_str());
+                return exit_usage;
+            }
+            sat::set_default_engine(mode == "legacy" ? sat::sat_engine::legacy
+                                                     : sat::sat_engine::modern);
         } else if (arg == "--classify-baseline")
             opt.params.rewrite.classification_word_parallel = false;
         else if (arg == "--deadline")
